@@ -1,0 +1,70 @@
+// Ablation (A.1.1): effect of the IntGroup group width s on running time.
+//
+// The analysis minimizes T(s1, s2) = n1/s1 + n2/s2 + r under s1*s2 <= w and
+// yields s = sqrt(w) = 8 for equal sizes; smaller groups pay more group-
+// pair overhead, larger ones break the E[collisions] = O(1) guarantee
+// (Equation 4 requires s1*s2 <= w).  This sweep validates the "magical
+// number" empirically.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/int_group.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+const std::vector<ElemList>& Workload() {
+  static std::vector<ElemList> lists = [] {
+    std::size_t n = FullScale() ? 4000000 : (1 << 18);
+    Xoshiro256 rng(0xAB700);
+    return GenerateIntersectingSets({n, n}, n / 100,
+                                    8 * static_cast<std::uint64_t>(n), rng);
+  }();
+  return lists;
+}
+
+void RegisterAll() {
+  for (std::size_t s : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    std::string label = "abl_group_width/s:" + std::to_string(s);
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [s](benchmark::State& st) {
+          IntGroupIntersection::Options o;
+          o.group_size = s;
+          IntGroupIntersection alg(o);
+          const auto& lists = Workload();
+          std::vector<std::unique_ptr<PreprocessedSet>> owned;
+          std::vector<const PreprocessedSet*> views;
+          for (const auto& l : lists) {
+            owned.push_back(alg.Preprocess(l));
+            views.push_back(owned.back().get());
+          }
+          ElemList out;
+          for (auto _ : st) {
+            out.clear();
+            alg.Intersect(views, &out);
+            benchmark::DoNotOptimize(out.data());
+          }
+          st.counters["result_size"] = static_cast<double>(out.size());
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(FullScale() ? 2 : 16);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (Section 3.3 / Theorem 3.9): RanGroupScan's m trade-off.
+//
+// More hash images filter more empty group combinations (the
+// max(n, k n_k)/alpha(w)^m term shrinks) but cost more memory and more AND
+// work per combination (the m n/sqrt(w) term grows).  The paper settles on
+// m = 4 for 2-set and m = 2 for multi-set queries; this sweep reproduces
+// the curve behind that choice, for k = 2 and k = 4.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ran_group_scan.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+const std::vector<ElemList>& Workload(std::size_t k) {
+  static std::map<std::size_t, std::vector<ElemList>> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    std::size_t n = FullScale() ? 4000000 : (1 << 18);
+    Xoshiro256 rng(0xAB800 + k);
+    std::vector<std::size_t> sizes(k, n);
+    it = cache.emplace(k, GenerateIntersectingSets(
+                              sizes, n / 100,
+                              20 * static_cast<std::uint64_t>(n) * k, rng))
+             .first;
+  }
+  return it->second;
+}
+
+void RegisterAll() {
+  for (std::size_t k : {2u, 4u}) {
+    for (int m : {1, 2, 3, 4, 6, 8}) {
+      std::string label = "abl_hash_images/k:" + std::to_string(k) +
+                          "/m:" + std::to_string(m);
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [k, m](benchmark::State& st) {
+            RanGroupScanIntersection::Options o;
+            o.m = m;
+            RanGroupScanIntersection alg(o);
+            const auto& lists = Workload(k);
+            std::vector<std::unique_ptr<PreprocessedSet>> owned;
+            std::vector<const PreprocessedSet*> views;
+            for (const auto& l : lists) {
+              owned.push_back(alg.Preprocess(l));
+              views.push_back(owned.back().get());
+            }
+            ElemList out;
+            for (auto _ : st) {
+              out.clear();
+              alg.Intersect(views, &out);
+              benchmark::DoNotOptimize(out.data());
+            }
+            st.counters["result_size"] = static_cast<double>(out.size());
+            double words = 0;
+            for (const auto& s : owned) {
+              words += static_cast<double>(s->SizeInWords());
+            }
+            st.counters["struct_MiB"] = words * 8.0 / (1 << 20);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(FullScale() ? 2 : 16);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation (A.5.3): partial-AND memoization and prefix skipping in
+// Algorithm 5.
+//
+// The O(mn/sqrt(w)) filtering term of Theorem 3.9 depends on reusing
+// partial image ANDs across group ids that share prefixes, and on skipping
+// every z_k under a prefix once some h_j AND is zero.  With the
+// optimizations disabled, each of the n_k/sqrt(w) iterations recomputes
+// k*m ANDs and advances one step at a time.  The gap widens with k and
+// with size skew (more groups share each coarse prefix).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ran_group_scan.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+const std::vector<ElemList>& Workload(int shape) {
+  static std::map<int, std::vector<ElemList>> cache;
+  auto it = cache.find(shape);
+  if (it == cache.end()) {
+    std::size_t n = FullScale() ? 2000000 : (1 << 17);
+    Xoshiro256 rng(0xAB900 + shape);
+    std::vector<std::size_t> sizes;
+    switch (shape) {
+      case 0:  // balanced pair
+        sizes = {n, n};
+        break;
+      case 1:  // skewed pair (prefix sharing matters)
+        sizes = {n / 64, n};
+        break;
+      default:  // four sets
+        sizes = {n / 8, n / 4, n / 2, n};
+        break;
+    }
+    it = cache.emplace(shape, GenerateIntersectingSets(
+                                  sizes, sizes[0] / 100 + 1,
+                                  20 * static_cast<std::uint64_t>(n), rng))
+             .first;
+  }
+  return it->second;
+}
+
+void RegisterAll() {
+  const char* shape_names[] = {"balanced2", "skewed2", "four_sets"};
+  for (int shape : {0, 1, 2}) {
+    for (bool memoize : {true, false}) {
+      std::string label = std::string("abl_memoization/") +
+                          shape_names[shape] +
+                          (memoize ? "/memoized" : "/naive");
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [shape, memoize](benchmark::State& st) {
+            RanGroupScanIntersection::Options o;
+            o.memoize = memoize;
+            RanGroupScanIntersection alg(o);
+            const auto& lists = Workload(shape);
+            std::vector<std::unique_ptr<PreprocessedSet>> owned;
+            std::vector<const PreprocessedSet*> views;
+            for (const auto& l : lists) {
+              owned.push_back(alg.Preprocess(l));
+              views.push_back(owned.back().get());
+            }
+            ElemList out;
+            for (auto _ : st) {
+              out.clear();
+              alg.Intersect(views, &out);
+              benchmark::DoNotOptimize(out.data());
+            }
+            st.counters["result_size"] = static_cast<double>(out.size());
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(FullScale() ? 2 : 8);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §2).  Defaults are scaled down so the whole
+// suite runs in minutes on one core; set FSI_BENCH_FULL=1 to run at paper
+// scale (10M-element sets, 10^4-query workloads).
+
+#ifndef FSI_BENCH_BENCH_UTIL_H_
+#define FSI_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/intersector.h"
+
+namespace fsi::bench {
+
+/// True when FSI_BENCH_FULL=1: paper-scale workloads.
+inline bool FullScale() {
+  const char* env = std::getenv("FSI_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// A query ready to run: the algorithm, its preprocessed sets, and views.
+struct PreparedQuery {
+  std::unique_ptr<IntersectionAlgorithm> algorithm;
+  std::vector<std::unique_ptr<PreprocessedSet>> owned;
+  std::vector<const PreprocessedSet*> views;
+
+  /// Computes the result *set* (order unspecified) — what the paper times;
+  /// see IntersectionAlgorithm::IntersectUnordered.
+  void Run(ElemList* out) const {
+    out->clear();
+    algorithm->IntersectUnordered(views, out);
+  }
+
+  std::size_t StructureWords() const {
+    std::size_t words = 0;
+    for (const auto& s : owned) words += s->SizeInWords();
+    return words;
+  }
+};
+
+/// Builds a PreparedQuery for `name` over `lists`.
+inline PreparedQuery Prepare(std::string_view name,
+                             const std::vector<ElemList>& lists,
+                             std::uint64_t seed = 0x6a09e667f3bcc908ULL) {
+  PreparedQuery q;
+  q.algorithm = CreateAlgorithm(name, seed);
+  for (const ElemList& l : lists) {
+    q.owned.push_back(q.algorithm->Preprocess(l));
+    q.views.push_back(q.owned.back().get());
+  }
+  return q;
+}
+
+/// google-benchmark body: repeatedly runs the prepared query.  Reports the
+/// result size as a counter so series can be sanity-checked against the
+/// workload definition.
+inline void RunPrepared(benchmark::State& state, const PreparedQuery& query) {
+  ElemList out;
+  for (auto _ : state) {
+    query.Run(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["result_size"] =
+      static_cast<double>(out.size());
+  state.counters["struct_MiB"] =
+      static_cast<double>(query.StructureWords()) * 8.0 / (1 << 20);
+}
+
+}  // namespace fsi::bench
+
+#endif  // FSI_BENCH_BENCH_UTIL_H_

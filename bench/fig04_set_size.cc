@@ -1,0 +1,75 @@
+// Figure 4: "Varying the Set Size".
+//
+// Two synthetic sets of equal size n (1M..10M in the paper; scaled down by
+// default), |L1 ∩ L2| fixed at 1% of n.  Series: one benchmark per
+// (algorithm, n).  Paper's findings to compare against:
+//   * RanGroupScan and IntGroup fastest (RanGroupScan 40-50% faster than
+//     Merge); RanGroup ~ IntGroup;
+//   * Merge beats the remaining "sophisticated" algorithms;
+//   * then Lookup, then the adaptive algorithms;
+//   * Hash, SkipList and BPP are the slowest;
+//   * relative order does not change with n.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+const std::vector<ElemList>& Workload(std::size_t n) {
+  static std::map<std::size_t, std::vector<ElemList>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Xoshiro256 rng(0xF160400 + n);
+    std::size_t r = n / 100;  // 1% intersection
+    std::uint64_t universe = std::max<std::uint64_t>(8 * n, 1 << 20);
+    it = cache.emplace(n, GenerateIntersectingSets({n, n}, r, universe, rng))
+             .first;
+  }
+  return it->second;
+}
+
+void RegisterAll() {
+  std::vector<std::size_t> sizes;
+  if (FullScale()) {
+    sizes = {1000000, 2000000, 4000000, 6000000, 8000000, 10000000};
+  } else {
+    sizes = {1 << 15, 1 << 16, 1 << 17, 1 << 18};
+  }
+  const std::vector<std::string> algorithms = {
+      "Merge",    "SkipList", "Hash",     "IntGroup",     "BPP",
+      "Adaptive", "SvS",      "Lookup",   "RanGroup",     "RanGroupScan"};
+  for (const auto& alg : algorithms) {
+    for (std::size_t n : sizes) {
+      std::string label = "fig04/" + alg + "/n:" + std::to_string(n);
+      long iterations =
+          std::max<long>(1, static_cast<long>((1 << 22) / n));
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [alg, n](benchmark::State& st) {
+            PreparedQuery q = Prepare(alg, Workload(n));
+            RunPrepared(st, q);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(iterations);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 5: "Varying the Intersection Size".
+//
+// Two sets of fixed size n (10M in the paper; scaled by default), with
+// r = |L1 ∩ L2| swept from tiny to n.  Paper's findings:
+//   * RanGroupScan / IntGroup fastest while r < 0.7 n;
+//   * for r > 0.7 n Merge takes over, with RanGroupScan a close 2nd all the
+//     way to r = n;
+//   * RanGroup slightly outperforms Merge for r < 0.5 n;
+//   * Lookup next, SvS/Adaptive best among the adaptive family.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+std::size_t SetSize() { return FullScale() ? 10000000 : (1 << 18); }
+
+const std::vector<ElemList>& Workload(std::size_t r) {
+  static std::map<std::size_t, std::vector<ElemList>> cache;
+  auto it = cache.find(r);
+  if (it == cache.end()) {
+    std::size_t n = SetSize();
+    Xoshiro256 rng(0xF160500 + r);
+    std::uint64_t universe = std::max<std::uint64_t>(8 * n, 1 << 20);
+    it = cache.emplace(r, GenerateIntersectingSets({n, n}, r, universe, rng))
+             .first;
+  }
+  return it->second;
+}
+
+void RegisterAll() {
+  std::size_t n = SetSize();
+  // Sweep r as fractions of n, bracketing the 0.7 crossover.
+  std::vector<double> fractions = {0.0001, 0.001, 0.01, 0.1, 0.3,
+                                   0.5,    0.7,   0.9,  1.0};
+  const std::vector<std::string> algorithms = {
+      "Merge",  "SkipList", "Hash",     "Adaptive",  "SvS",
+      "Lookup", "IntGroup", "RanGroup", "RanGroupScan"};
+  for (const auto& alg : algorithms) {
+    for (double f : fractions) {
+      auto r = static_cast<std::size_t>(f * static_cast<double>(n));
+      std::string label = "fig05/" + alg + "/r_frac:" + std::to_string(f);
+      long iterations = std::max<long>(1, static_cast<long>((1 << 21) / n));
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [alg, r](benchmark::State& st) {
+            PreparedQuery q = Prepare(alg, Workload(r));
+            RunPrepared(st, q);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(iterations);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 12 (Appendix C.2): real-workload breakdown by number of keywords.
+//
+// Same simulated workload as Figure 7, with mean times reported separately
+// for 2-, 3- and 4-keyword queries, normalized to Merge within each class.
+// Paper's findings: Merge degrades as k grows (it cannot exploit
+// asymmetry); Hash improves with k but stays near-worst; for 4-keyword
+// queries RanGroup slightly outperforms RanGroupScan.
+
+#include <cstdio>
+
+#include "bench/real_workload.h"
+
+int main() {
+  using namespace fsi::bench;
+  RealWorkloadDriver driver;
+  driver.PrintWorkloadStats();
+  std::vector<std::string> algorithms = {
+      "Merge",   "Hash",   "Lookup",  "SvS",          "SmallAdaptive",
+      "HashBin", "RanGroup", "RanGroupScan", "Hybrid"};
+  auto results = driver.Run(algorithms);
+  std::printf("fig12: normalized mean query time by keyword count\n");
+  std::printf("%-16s", "algorithm");
+  for (std::size_t k : {2u, 3u, 4u, 5u}) std::printf(" %8s%zu", "k=", k);
+  std::printf("\n");
+  for (const auto& name : algorithms) {
+    std::printf("%-16s", name.c_str());
+    for (std::size_t k : {2u, 3u, 4u, 5u}) {
+      double merge = results["Merge"].mean_ms_by_k.count(k)
+                         ? results["Merge"].mean_ms_by_k[k]
+                         : 0.0;
+      double mine = results[name].mean_ms_by_k.count(k)
+                        ? results[name].mean_ms_by_k[k]
+                        : 0.0;
+      if (merge > 0) {
+        std::printf(" %9.3f", mine / merge);
+      } else {
+        std::printf(" %9s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// "Varying the Sets Size Ratios" (Section 4, reported in text).
+//
+// |L2| fixed (10M in the paper; scaled by default), |L1| swept so the ratio
+// sr = |L2|/|L1| covers 1..625; r = 1% of |L1|.  Paper's findings:
+//   * sr < 32: RanGroupScan best;
+//   * 32 <= sr < 100: Lookup and Hash best;
+//   * sr >= 100: Hash best, then Lookup and HashBin;
+//   * HashBin and RanGroupScan always close to the best performer
+//     (robustness claim), adaptive algorithms slower than RanGroupScan for
+//     sr <= 200 and slower than HashBin everywhere.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+std::size_t BigSize() { return FullScale() ? 10000000 : (1 << 18); }
+
+const std::vector<ElemList>& Workload(std::size_t sr) {
+  static std::map<std::size_t, std::vector<ElemList>> cache;
+  auto it = cache.find(sr);
+  if (it == cache.end()) {
+    std::size_t n2 = BigSize();
+    std::size_t n1 = std::max<std::size_t>(n2 / sr, 16);
+    Xoshiro256 rng(0xF1605A0 + sr);
+    std::uint64_t universe = std::max<std::uint64_t>(8 * n2, 1 << 20);
+    it = cache
+             .emplace(sr, GenerateIntersectingSets(
+                              {n1, n2}, std::max<std::size_t>(n1 / 100, 1),
+                              universe, rng))
+             .first;
+  }
+  return it->second;
+}
+
+void RegisterAll() {
+  std::vector<std::size_t> ratios = {1, 4, 16, 32, 64, 100, 200, 400, 625};
+  const std::vector<std::string> algorithms = {
+      "Merge",   "Hash",     "Lookup",       "SvS",   "Adaptive",
+      "SmallAdaptive", "HashBin", "RanGroupScan", "Hybrid"};
+  for (const auto& alg : algorithms) {
+    for (std::size_t sr : ratios) {
+      std::string label = "ratio/" + alg + "/sr:" + std::to_string(sr);
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [alg, sr](benchmark::State& st) {
+            PreparedQuery q = Prepare(alg, Workload(sr));
+            RunPrepared(st, q);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(FullScale() ? 1 : 8);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Faceted product filtering — the paper's motivating measurement came from
+// the Bing *Shopping* portal: conjunctive attribute predicates over a
+// product catalog ("evaluation of conjunctive predicates").
+//
+// Each attribute value (brand=X, color=Y, price-band=Z, ...) has a posting
+// list of product ids; a filter combination is a set intersection.  The
+// example shows the paper's key observation live: the intersection is
+// usually orders of magnitude smaller than the smallest filter list ("for
+// 94% of queries the full intersection was at least one order of magnitude
+// smaller than the document frequency of the least frequent keyword"), and
+// group filtering exploits exactly that.
+//
+//   ./build/examples/shopping_filters
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/intersector.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fsi;
+  const Elem kProducts = 500000;
+  Xoshiro256 rng(2026);
+
+  // Catalog: every product gets one value per attribute dimension.
+  struct Dimension {
+    std::string name;
+    std::vector<std::string> values;
+    std::vector<double> popularity;  // sampling weights
+  };
+  std::vector<Dimension> dims = {
+      {"brand", {"acme", "globex", "initech", "umbrella", "hooli"},
+       {0.4, 0.3, 0.15, 0.1, 0.05}},
+      {"color", {"black", "white", "red", "blue"}, {0.4, 0.3, 0.2, 0.1}},
+      {"price", {"budget", "mid", "premium"}, {0.5, 0.35, 0.15}},
+      {"ships", {"today", "this-week"}, {0.3, 0.7}},
+  };
+
+  std::map<std::string, ElemList> postings;
+  for (Elem p = 0; p < kProducts; ++p) {
+    for (const Dimension& d : dims) {
+      double u = rng.NextDouble();
+      std::size_t v = 0;
+      double acc = 0;
+      for (; v + 1 < d.values.size(); ++v) {
+        acc += d.popularity[v];
+        if (u < acc) break;
+      }
+      postings[d.name + "=" + d.values[v]].push_back(p);
+    }
+  }
+
+  auto algorithm = CreateAlgorithm("Hybrid");
+  std::map<std::string, std::unique_ptr<PreprocessedSet>> structures;
+  for (auto& [value, list] : postings) {
+    structures[value] = algorithm->Preprocess(list);
+  }
+
+  std::vector<std::vector<std::string>> filter_queries = {
+      {"brand=acme", "color=red"},
+      {"brand=hooli", "color=blue", "price=premium"},
+      {"brand=globex", "color=black", "price=budget", "ships=today"},
+      {"price=premium", "ships=today"},
+  };
+  std::printf("%-55s %10s %10s %9s\n", "filter", "min-list", "matches",
+              "time(us)");
+  for (const auto& q : filter_queries) {
+    std::vector<const PreprocessedSet*> sets;
+    std::string label;
+    std::size_t min_list = SIZE_MAX;
+    for (const std::string& f : q) {
+      sets.push_back(structures[f].get());
+      min_list = std::min(min_list, structures[f]->size());
+      if (!label.empty()) label += " & ";
+      label += f;
+    }
+    Timer timer;
+    ElemList matches;
+    algorithm->Intersect(sets, &matches);
+    std::printf("%-55s %10zu %10zu %9.1f\n", label.c_str(), min_list,
+                matches.size(), timer.ElapsedMillis() * 1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "baseline/adaptive.h"
+
+#include <vector>
+
+#include "baseline/plain_set.h"
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> AdaptiveIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<PlainSet>(set);
+}
+
+void AdaptiveIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::vector<const PlainSet*> sorted = SortBySize(sets);
+  std::size_t k = sorted.size();
+  if (k == 0) return;
+  if (sorted[0]->elems().empty()) return;
+  if (k == 1) {
+    out->assign(sorted[0]->elems().begin(), sorted[0]->elems().end());
+    return;
+  }
+  std::vector<std::size_t> pos(k, 0);
+  Elem eliminator = sorted[0]->elems()[0];
+  pos[0] = 1;
+  std::size_t agree = 1;
+  std::size_t i = 1;
+  while (true) {
+    std::span<const Elem> li = sorted[i]->elems();
+    std::size_t p = GallopGreaterEqual(li, pos[i], eliminator);
+    if (p == li.size()) return;  // list i exhausted: intersection complete
+    if (li[p] == eliminator) {
+      pos[i] = p;  // leave cursor on the match; it may be re-confirmed later
+      if (++agree == k) {
+        out->push_back(eliminator);
+        pos[i] = p + 1;
+        if (pos[i] == li.size()) return;
+        eliminator = li[pos[i]];
+        ++pos[i];
+        agree = 1;
+      }
+    } else {
+      pos[i] = p;
+      eliminator = li[p];  // overshoot: list i supplies the new eliminator
+      ++pos[i];
+      agree = 1;
+    }
+    i = (i + 1) % k;
+  }
+}
+
+}  // namespace fsi

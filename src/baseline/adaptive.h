@@ -1,0 +1,34 @@
+// Adaptive: the round-robin "eliminator" algorithm of Demaine, López-Ortiz
+// & Munro [12, 13].
+//
+// The paper's competitor family (vi).  The algorithm maintains an
+// eliminator element and cycles over the k sets, galloping for the
+// eliminator in each; a set that overshoots supplies the new eliminator.
+// An element confirmed by all k sets is output.  The number of comparisons
+// adapts to how interleaved the sets are.
+
+#ifndef FSI_BASELINE_ADAPTIVE_H_
+#define FSI_BASELINE_ADAPTIVE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+class AdaptiveIntersection : public IntersectionAlgorithm {
+ public:
+  std::string_view name() const override { return "Adaptive"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_ADAPTIVE_H_

@@ -1,0 +1,35 @@
+// BaezaYates: the double-binary-search intersection of Baeza-Yates [1] /
+// Baeza-Yates & Salinger [2].
+//
+// Two sets: take the median of the smaller set, binary-search it in the
+// larger; recurse on the two halves on each side.  Emitting the left
+// recursion, then the median hit, then the right recursion keeps the output
+// sorted without a post-sort.  k sets: as in the paper ("BaezaYates is
+// generalized to handle more than two sets as in [5]"): sort by size,
+// intersect the two smallest, then the result with the next set, and so on.
+
+#ifndef FSI_BASELINE_BAEZA_YATES_H_
+#define FSI_BASELINE_BAEZA_YATES_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+class BaezaYatesIntersection : public IntersectionAlgorithm {
+ public:
+  std::string_view name() const override { return "BaezaYates"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_BAEZA_YATES_H_

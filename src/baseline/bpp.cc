@@ -1,0 +1,97 @@
+#include "baseline/bpp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fsi {
+
+BppSet::BppSet(std::span<const Elem> set, const UniversalHash& code_hash) {
+  std::size_t n = set.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::uint16_t> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw[i] = static_cast<std::uint16_t>(code_hash(set[i]));
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (raw[a] != raw[b]) return raw[a] < raw[b];
+              return set[a] < set[b];
+            });
+  elems_.resize(n);
+  codes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    elems_[i] = set[order[i]];
+    codes_[i] = raw[order[i]];
+  }
+}
+
+std::size_t BppSet::SizeInWords() const {
+  return (elems_.size() * sizeof(Elem) + 7) / 8 +
+         (codes_.size() * sizeof(std::uint16_t) + 7) / 8;
+}
+
+std::unique_ptr<PreprocessedSet> BppIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<BppSet>(set, code_hash_);
+}
+
+void BppIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
+                                ElemList* out) const {
+  IntersectUnordered(sets, out);
+  std::sort(out->begin(), out->end());
+}
+
+void BppIntersection::IntersectUnordered(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  if (sets.size() > 2) {
+    throw std::invalid_argument("BPP: supports two-set queries only");
+  }
+  if (sets.empty()) return;
+  const auto& a = As<BppSet>(*sets[0]);
+  if (sets.size() == 1) {
+    out->assign(a.elems().begin(), a.elems().end());
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  const auto& b = As<BppSet>(*sets[1]);
+  std::span<const std::uint16_t> ca = a.codes();
+  std::span<const std::uint16_t> cb = b.codes();
+  std::span<const Elem> ea = a.elems();
+  std::span<const Elem> eb = b.elems();
+  // Merge over the sorted code sequences; matching codes identify candidate
+  // runs whose pre-images are verified by a value merge (false-positive
+  // removal).
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < ca.size() && ib < cb.size()) {
+    std::uint16_t code_a = ca[ia];
+    std::uint16_t code_b = cb[ib];
+    if (code_a < code_b) {
+      ++ia;
+    } else if (code_b < code_a) {
+      ++ib;
+    } else {
+      // Runs of equal code: value-ordered linear merge.
+      std::uint16_t code = code_a;
+      while (ia < ca.size() && ib < cb.size() && ca[ia] == code &&
+             cb[ib] == code) {
+        if (ea[ia] == eb[ib]) {
+          out->push_back(ea[ia]);
+          ++ia;
+          ++ib;
+        } else if (ea[ia] < eb[ib]) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      while (ia < ca.size() && ca[ia] == code) ++ia;
+      while (ib < cb.size() && cb[ib] == code) ++ib;
+    }
+  }
+}
+
+}  // namespace fsi

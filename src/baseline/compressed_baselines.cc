@@ -1,0 +1,246 @@
+#include "baseline/compressed_baselines.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codec/elias.h"
+#include "util/bits.h"
+
+namespace fsi {
+namespace {
+
+std::uint64_t ReadCode(BitReader& r, EliasCodec codec) {
+  return codec == EliasCodec::kGamma ? ReadGamma(r) : ReadDelta(r);
+}
+
+void WriteCode(BitWriter& w, EliasCodec codec, std::uint64_t v) {
+  if (codec == EliasCodec::kGamma) {
+    WriteGamma(w, v);
+  } else {
+    WriteDelta(w, v);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompressedPlainSet / Merge
+// ---------------------------------------------------------------------------
+
+CompressedPlainSet::CompressedPlainSet(std::span<const Elem> set,
+                                       EliasCodec codec)
+    : n_(set.size()), codec_(codec) {
+  CheckSortedUnique(set, "CompressedMerge");
+  BitWriter w;
+  Elem prev = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    // First value coded as value + 1 (ids may be 0); then strict gaps.
+    std::uint64_t gap = static_cast<std::uint64_t>(set[i]) - prev +
+                        (i == 0 ? 1 : 0);
+    WriteCode(w, codec_, gap);
+    prev = set[i];
+  }
+  bit_count_ = w.BitCount();
+  bits_ = w.TakeBuffer();
+}
+
+ElemList CompressedPlainSet::Decode() const {
+  ElemList out;
+  out.reserve(n_);
+  BitReader r(bits_.data(), bit_count_);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    prev += ReadCode(r, codec_) - (i == 0 ? 1 : 0);
+    out.push_back(static_cast<Elem>(prev));
+  }
+  return out;
+}
+
+CompressedMergeIntersection::CompressedMergeIntersection(EliasCodec codec)
+    : codec_(codec),
+      name_(codec == EliasCodec::kGamma ? "Merge_Gamma" : "Merge_Delta") {}
+
+std::unique_ptr<PreprocessedSet> CompressedMergeIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  return std::make_unique<CompressedPlainSet>(set, codec_);
+}
+
+void CompressedMergeIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::size_t k = sets.size();
+  if (k == 0) return;
+  std::vector<const CompressedPlainSet*> lists;
+  lists.reserve(k);
+  for (const PreprocessedSet* s : sets) {
+    lists.push_back(&As<CompressedPlainSet>(*s));
+  }
+  if (k == 1) {
+    *out = lists[0]->Decode();
+    return;
+  }
+  // Streaming k-way scan: per-list decoder state (reader, current value,
+  // remaining count).
+  struct Stream {
+    BitReader reader;
+    std::uint64_t value = 0;
+    std::size_t remaining = 0;
+    EliasCodec codec;
+    bool Advance() {  // move to next value; false when exhausted
+      if (remaining == 0) return false;
+      --remaining;
+      value += ReadCode(reader, codec);
+      return true;
+    }
+  };
+  std::vector<Stream> streams;
+  streams.reserve(k);
+  for (const CompressedPlainSet* l : lists) {
+    if (l->size() == 0) return;
+    Stream s{BitReader(l->bits().data(), l->bit_count()), 0, l->size(),
+             l->codec()};
+    // Prime with the first value (coded as value + 1).
+    s.value = ReadCode(s.reader, s.codec) - 1;
+    --s.remaining;
+    streams.push_back(std::move(s));
+  }
+  std::uint64_t cand = streams[0].value;
+  std::size_t agree = 1;
+  std::size_t i = 1;
+  while (true) {
+    Stream& si = streams[i];
+    while (si.value < cand) {
+      if (!si.Advance()) return;
+    }
+    if (si.value == cand) {
+      if (++agree == k) {
+        out->push_back(static_cast<Elem>(cand));
+        if (!si.Advance()) return;
+        cand = si.value;
+        agree = 1;
+      }
+    } else {
+      cand = si.value;
+      agree = 1;
+    }
+    i = (i + 1) % k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CompressedLookupSet / Lookup
+// ---------------------------------------------------------------------------
+
+CompressedLookupSet::CompressedLookupSet(std::span<const Elem> set,
+                                         EliasCodec codec, int bucket_bits)
+    : n_(set.size()), codec_(codec), bucket_bits_(bucket_bits) {
+  CheckSortedUnique(set, "CompressedLookup");
+  // Keep the directory O(n) on sparse id ranges (see LookupSet).
+  while (bucket_bits_ < 31 && !set.empty() &&
+         (static_cast<std::uint64_t>(set.back()) >> bucket_bits_) >
+             4 * set.size()) {
+    ++bucket_bits_;
+  }
+  std::uint32_t max_bucket = set.empty() ? 0 : (set.back() >> bucket_bits_);
+  dir_.assign(max_bucket + 2, 0);
+  BitWriter w;
+  std::size_t i = 0;
+  for (std::uint32_t b = 0; b <= max_bucket; ++b) {
+    dir_[b] = static_cast<std::uint32_t>(w.BitCount());
+    std::uint64_t base = static_cast<std::uint64_t>(b) << bucket_bits_;
+    std::uint64_t prev = base;
+    bool first = true;
+    while (i < set.size() && (set[i] >> bucket_bits_) == b) {
+      std::uint64_t gap = set[i] - prev + (first ? 1 : 0);
+      WriteCode(w, codec_, gap);
+      prev = set[i];
+      first = false;
+      ++i;
+    }
+  }
+  dir_.back() = static_cast<std::uint32_t>(w.BitCount());
+  bits_ = w.TakeBuffer();
+}
+
+void CompressedLookupSet::DecodeBucket(std::uint32_t bkt,
+                                       std::vector<Elem>* out) const {
+  out->clear();
+  if (bkt + 1 >= dir_.size()) return;
+  std::uint32_t lo = dir_[bkt];
+  std::uint32_t hi = dir_[bkt + 1];
+  if (lo == hi) return;
+  BitReader r(bits_.data(), hi);
+  r.Skip(lo);
+  std::uint64_t prev = static_cast<std::uint64_t>(bkt) << bucket_bits_;
+  bool first = true;
+  while (r.position() < hi) {
+    prev += ReadCode(r, codec_) - (first ? 1 : 0);
+    first = false;
+    out->push_back(static_cast<Elem>(prev));
+  }
+}
+
+CompressedLookupIntersection::CompressedLookupIntersection(EliasCodec codec,
+                                                           int bucket_size)
+    : codec_(codec),
+      name_(codec == EliasCodec::kGamma ? "Lookup_Gamma" : "Lookup_Delta") {
+  if (bucket_size <= 0 || (bucket_size & (bucket_size - 1)) != 0) {
+    throw std::invalid_argument(
+        "CompressedLookup: bucket_size must be a power of two");
+  }
+  bucket_bits_ = FloorLog2(static_cast<std::uint64_t>(bucket_size));
+}
+
+std::unique_ptr<PreprocessedSet> CompressedLookupIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  return std::make_unique<CompressedLookupSet>(set, codec_, bucket_bits_);
+}
+
+void CompressedLookupIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::size_t k = sets.size();
+  if (k == 0) return;
+  std::vector<const CompressedLookupSet*> sorted;
+  sorted.reserve(k);
+  for (const PreprocessedSet* s : sets) {
+    sorted.push_back(&As<CompressedLookupSet>(*s));
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CompressedLookupSet* a,
+                      const CompressedLookupSet* b) {
+                     return a->size() < b->size();
+                   });
+  if (sorted[0]->size() == 0) return;
+  if (k == 1) {
+    std::vector<Elem> bucket;
+    for (std::uint32_t b = 0; b < sorted[0]->num_buckets(); ++b) {
+      sorted[0]->DecodeBucket(b, &bucket);
+      out->insert(out->end(), bucket.begin(), bucket.end());
+    }
+    return;
+  }
+  // Decode the smallest set bucket-by-bucket; probe each element in the
+  // other sets' matching buckets (decoded once per distinct bucket, cached).
+  std::vector<std::vector<Elem>> cache(k);
+  std::vector<std::uint32_t> cached_bucket(k, 0xFFFFFFFFu);
+  std::vector<Elem> lead_bucket;
+  for (std::uint32_t b = 0; b < sorted[0]->num_buckets(); ++b) {
+    sorted[0]->DecodeBucket(b, &lead_bucket);
+    for (Elem x : lead_bucket) {
+      bool in_all = true;
+      for (std::size_t s = 1; s < k; ++s) {
+        std::uint32_t xb = x >> sorted[s]->bucket_bits();
+        if (cached_bucket[s] != xb) {
+          sorted[s]->DecodeBucket(xb, &cache[s]);
+          cached_bucket[s] = xb;
+        }
+        if (!std::binary_search(cache[s].begin(), cache[s].end(), x)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) out->push_back(x);
+    }
+  }
+}
+
+}  // namespace fsi

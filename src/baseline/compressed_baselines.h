@@ -1,0 +1,124 @@
+// Compressed Merge and Lookup (Section 4.1).
+//
+// The paper compares its compressed structures against the standard
+// compressed inverted-index representations: posting lists stored as Elias
+// γ-/δ-coded gaps, intersected by streaming decode (Merge_Gamma/_Delta), and
+// the Sanders-Transier bucket structure with γ-/δ-coded in-bucket values and
+// an uncompressed bucket directory (Lookup_Gamma/_Delta).
+
+#ifndef FSI_BASELINE_COMPRESSED_BASELINES_H_
+#define FSI_BASELINE_COMPRESSED_BASELINES_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codec/bit_stream.h"
+#include "core/algorithm.h"
+
+namespace fsi {
+
+enum class EliasCodec { kGamma, kDelta };
+
+// ---------------------------------------------------------------------------
+// Merge over gap-coded streams
+// ---------------------------------------------------------------------------
+
+/// Preprocessed form: one gap-coded bit stream for the whole list.
+class CompressedPlainSet : public PreprocessedSet {
+ public:
+  CompressedPlainSet(std::span<const Elem> set, EliasCodec codec);
+
+  std::size_t size() const override { return n_; }
+  std::size_t SizeInWords() const override { return bits_.size() + 1; }
+
+  EliasCodec codec() const { return codec_; }
+  const std::vector<std::uint64_t>& bits() const { return bits_; }
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Decodes the full list (used by tests and by cascaded k-way queries).
+  ElemList Decode() const;
+
+ private:
+  std::size_t n_;
+  EliasCodec codec_;
+  std::vector<std::uint64_t> bits_;
+  std::size_t bit_count_;
+};
+
+class CompressedMergeIntersection : public IntersectionAlgorithm {
+ public:
+  explicit CompressedMergeIntersection(EliasCodec codec);
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+ private:
+  EliasCodec codec_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Lookup over per-bucket gap-coded streams
+// ---------------------------------------------------------------------------
+
+/// Preprocessed form: bucket directory (bit offsets) + gap-coded buckets.
+class CompressedLookupSet : public PreprocessedSet {
+ public:
+  CompressedLookupSet(std::span<const Elem> set, EliasCodec codec,
+                      int bucket_bits);
+
+  std::size_t size() const override { return n_; }
+  std::size_t SizeInWords() const override {
+    return bits_.size() +
+           (dir_.size() * sizeof(std::uint32_t) + 7) / 8 + 1;
+  }
+
+  EliasCodec codec() const { return codec_; }
+  int bucket_bits() const { return bucket_bits_; }
+  std::uint32_t num_buckets() const {
+    return static_cast<std::uint32_t>(dir_.size()) - 1;
+  }
+
+  /// Decodes bucket `bkt` into `out` (cleared first).  Out-of-range buckets
+  /// decode to empty.
+  void DecodeBucket(std::uint32_t bkt, std::vector<Elem>* out) const;
+
+ private:
+  std::size_t n_;
+  EliasCodec codec_;
+  int bucket_bits_;
+  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint32_t> dir_;  // bit offset per bucket, +1 sentinel
+};
+
+class CompressedLookupIntersection : public IntersectionAlgorithm {
+ public:
+  explicit CompressedLookupIntersection(EliasCodec codec,
+                                        int bucket_size = 32);
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+ private:
+  EliasCodec codec_;
+  int bucket_bits_;
+  std::string name_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_COMPRESSED_BASELINES_H_

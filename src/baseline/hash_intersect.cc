@@ -1,0 +1,36 @@
+#include "baseline/hash_intersect.h"
+
+#include <algorithm>
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> HashIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<HashedSet>(set, seed_);
+}
+
+void HashIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
+                                 ElemList* out) const {
+  std::vector<const HashedSet*> sorted;
+  sorted.reserve(sets.size());
+  for (const PreprocessedSet* s : sets) sorted.push_back(&As<HashedSet>(*s));
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const HashedSet* a, const HashedSet* b) {
+                     return a->size() < b->size();
+                   });
+  if (sorted.empty()) return;
+  // Scan the smallest set; probe the others' tables, cheapest filter first.
+  for (Elem x : sorted[0]->elems()) {
+    bool in_all = true;
+    for (std::size_t s = 1; s < sorted.size(); ++s) {
+      if (!sorted[s]->table().Contains(x)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out->push_back(x);
+  }
+}
+
+}  // namespace fsi

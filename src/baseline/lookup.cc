@@ -1,0 +1,85 @@
+#include "baseline/lookup.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace fsi {
+
+LookupSet::LookupSet(std::span<const Elem> set, int bucket_bits)
+    : bucket_bits_(bucket_bits), elems_(set.begin(), set.end()) {
+  // The directory has one entry per bucket of the *universe up to
+  // max(L_i)*.  [19, 21] size buckets for dense doc-id spaces; when the
+  // list is far sparser than its id range, widen the buckets so the
+  // directory stays O(n) instead of O(universe).
+  while (bucket_bits_ < 31 &&
+         !elems_.empty() &&
+         (static_cast<std::uint64_t>(elems_.back()) >> bucket_bits_) >
+             4 * elems_.size()) {
+    ++bucket_bits_;
+  }
+  std::uint32_t max_bucket =
+      elems_.empty() ? 0 : (elems_.back() >> bucket_bits_);
+  bucket_start_.assign(max_bucket + 2, 0);
+  // Counting pass: bucket_start_[b + 1] accumulates the size of bucket b,
+  // then a prefix sum turns counts into offsets.
+  for (Elem x : elems_) ++bucket_start_[(x >> bucket_bits_) + 1];
+  for (std::size_t b = 1; b < bucket_start_.size(); ++b) {
+    bucket_start_[b] += bucket_start_[b - 1];
+  }
+}
+
+std::size_t LookupSet::SizeInWords() const {
+  return (elems_.size() * sizeof(Elem) + 7) / 8 +
+         (bucket_start_.size() * sizeof(std::uint32_t) + 7) / 8;
+}
+
+LookupIntersection::LookupIntersection(int bucket_size) {
+  if (bucket_size <= 0 || (bucket_size & (bucket_size - 1)) != 0) {
+    throw std::invalid_argument("Lookup: bucket_size must be a power of two");
+  }
+  bucket_bits_ = FloorLog2(static_cast<std::uint64_t>(bucket_size));
+}
+
+std::unique_ptr<PreprocessedSet> LookupIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<LookupSet>(set, bucket_bits_);
+}
+
+void LookupIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::vector<const LookupSet*> sorted;
+  sorted.reserve(sets.size());
+  for (const PreprocessedSet* s : sets) sorted.push_back(&As<LookupSet>(*s));
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const LookupSet* a, const LookupSet* b) {
+                     return a->size() < b->size();
+                   });
+  if (sorted.empty()) return;
+  // Cascade smallest-first; candidates are filtered one set at a time, each
+  // probe being a bucket lookup + short in-bucket scan.
+  out->assign(sorted[0]->elems().begin(), sorted[0]->elems().end());
+  ElemList next;
+  for (std::size_t s = 1; s < sorted.size() && !out->empty(); ++s) {
+    const LookupSet& big = *sorted[s];
+    std::span<const Elem> be = big.elems();
+    next.clear();
+    next.reserve(out->size());
+    for (Elem x : *out) {
+      auto [lo, hi] = big.BucketRange(x >> big.bucket_bits());
+      // Buckets hold <= B elements; a linear scan beats binary search here.
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        if (be[i] == x) {
+          next.push_back(x);
+          break;
+        }
+        if (be[i] > x) break;
+      }
+    }
+    out->swap(next);
+  }
+}
+
+}  // namespace fsi

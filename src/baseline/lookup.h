@@ -1,0 +1,67 @@
+// Lookup: the two-level single-value bucket representation of Sanders &
+// Transier [19, 21] for integer inverted indices in main memory.
+//
+// The paper's competitor (v), run with bucket size B = 32 ("the best value
+// in our and the authors' experience").  The universe is cut into aligned
+// buckets of B consecutive ids; each set stores, besides its sorted element
+// array, an offset table mapping bucket id -> first element position.  An
+// intersection iterates the smaller set and jumps straight into the matching
+// bucket of the larger set — a random access ("lookup") instead of a search.
+
+#ifndef FSI_BASELINE_LOOKUP_H_
+#define FSI_BASELINE_LOOKUP_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+/// Preprocessed form: sorted elements + bucket offset table.
+class LookupSet : public PreprocessedSet {
+ public:
+  LookupSet(std::span<const Elem> set, int bucket_bits);
+
+  std::size_t size() const override { return elems_.size(); }
+  std::size_t SizeInWords() const override;
+
+  std::span<const Elem> elems() const { return elems_; }
+
+  /// Half-open element range [first, second) of bucket b; empty range when
+  /// the bucket is beyond the set's maximum.
+  std::pair<std::uint32_t, std::uint32_t> BucketRange(std::uint32_t b) const {
+    if (b + 1 >= bucket_start_.size()) return {0, 0};
+    return {bucket_start_[b], bucket_start_[b + 1]};
+  }
+
+  int bucket_bits() const { return bucket_bits_; }
+
+ private:
+  int bucket_bits_;
+  std::vector<Elem> elems_;
+  std::vector<std::uint32_t> bucket_start_;  // max_bucket + 2 entries
+};
+
+class LookupIntersection : public IntersectionAlgorithm {
+ public:
+  /// `bucket_size` must be a power of two; the paper uses 32.
+  explicit LookupIntersection(int bucket_size = 32);
+
+  std::string_view name() const override { return "Lookup"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+ private:
+  int bucket_bits_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_LOOKUP_H_

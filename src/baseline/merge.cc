@@ -1,0 +1,87 @@
+#include "baseline/merge.h"
+
+#include <vector>
+
+#include "baseline/plain_set.h"
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> MergeIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<PlainSet>(set);
+}
+
+void MergeIntersect(std::span<const Elem> a, std::span<const Elem> b,
+                    ElemList* out) {
+  const Elem* pa = a.data();
+  const Elem* ea = pa + a.size();
+  const Elem* pb = b.data();
+  const Elem* eb = pb + b.size();
+  while (pa < ea && pb < eb) {
+    Elem va = *pa;
+    Elem vb = *pb;
+    if (va == vb) {
+      out->push_back(va);
+      ++pa;
+      ++pb;
+    } else {
+      // Branch-light advance: exactly one cursor moves.
+      pa += (va < vb);
+      pb += (vb < va);
+    }
+  }
+}
+
+void MergeIntersectK(std::span<const std::span<const Elem>> lists,
+                     ElemList* out) {
+  if (lists.empty()) return;
+  if (lists.size() == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
+  }
+  if (lists.size() == 2) {
+    MergeIntersect(lists[0], lists[1], out);
+    return;
+  }
+  // Round-robin candidate-advance: `candidate` is the current largest head;
+  // `agree` counts how many consecutive lists confirmed it.  Every list,
+  // including list 0, participates in confirmation.
+  std::size_t k = lists.size();
+  std::vector<std::size_t> pos(k, 0);
+  if (lists[0].empty()) return;
+  Elem candidate = lists[0][0];
+  std::size_t agree = 1;
+  std::size_t i = 1;
+  while (true) {
+    std::span<const Elem> li = lists[i];
+    std::size_t p = pos[i];
+    while (p < li.size() && li[p] < candidate) ++p;
+    pos[i] = p;
+    if (p == li.size()) return;  // some list exhausted: done
+    if (li[p] == candidate) {
+      if (++agree == k) {
+        out->push_back(candidate);
+        if (++pos[i] == li.size()) return;
+        candidate = li[pos[i]];
+        agree = 1;
+      }
+    } else {
+      candidate = li[p];  // overshoot: new, larger candidate from list i
+      agree = 1;
+    }
+    i = (i + 1) % k;
+  }
+}
+
+void MergeIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
+                                  ElemList* out) const {
+  std::vector<std::span<const Elem>> lists;
+  lists.reserve(sets.size());
+  for (const PreprocessedSet* s : sets) {
+    lists.push_back(As<PlainSet>(*s).elems());
+  }
+  MergeIntersectK(lists, out);
+}
+
+}  // namespace fsi

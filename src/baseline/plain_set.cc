@@ -1,0 +1,41 @@
+#include "baseline/plain_set.h"
+
+#include <algorithm>
+
+namespace fsi {
+
+std::vector<const PlainSet*> SortBySize(
+    std::span<const PreprocessedSet* const> sets) {
+  std::vector<const PlainSet*> sorted;
+  sorted.reserve(sets.size());
+  for (const PreprocessedSet* s : sets) {
+    sorted.push_back(&As<PlainSet>(*s));
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PlainSet* a, const PlainSet* b) {
+                     return a->size() < b->size();
+                   });
+  return sorted;
+}
+
+std::size_t GallopGreaterEqual(std::span<const Elem> sorted, std::size_t lo,
+                               Elem x) {
+  std::size_t n = sorted.size();
+  if (lo >= n || sorted[lo] >= x) return lo;
+  // Exponential probe: double the step until we overshoot.
+  std::size_t step = 1;
+  std::size_t prev = lo;
+  std::size_t cur = lo + 1;
+  while (cur < n && sorted[cur] < x) {
+    prev = cur;
+    step *= 2;
+    cur = lo + step;
+  }
+  if (cur > n) cur = n;
+  // Binary search in (prev, cur].
+  auto it = std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(prev) + 1,
+                             sorted.begin() + static_cast<std::ptrdiff_t>(cur), x);
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+}  // namespace fsi

@@ -1,0 +1,50 @@
+// PlainSet: the trivial preprocessed form shared by the comparison-based
+// baselines (Merge, SvS, Adaptive, BaezaYates, SmallAdaptive).
+//
+// It is exactly an uncompressed inverted-index posting list: the sorted
+// element array, stored contiguously ("we also store postings in consecutive
+// memory addresses to speed up parallel scans", Section 4 Implementation).
+
+#ifndef FSI_BASELINE_PLAIN_SET_H_
+#define FSI_BASELINE_PLAIN_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+/// A sorted element array; the baseline "structure" and the space yardstick
+/// (the paper reports every structure's size relative to this one).
+class PlainSet : public PreprocessedSet {
+ public:
+  explicit PlainSet(std::span<const Elem> set)
+      : elems_(set.begin(), set.end()) {}
+
+  std::size_t size() const override { return elems_.size(); }
+
+  std::size_t SizeInWords() const override {
+    return (elems_.size() * sizeof(Elem) + 7) / 8;
+  }
+
+  std::span<const Elem> elems() const { return elems_; }
+
+ private:
+  std::vector<Elem> elems_;
+};
+
+/// Sorts a k-way query by set size ascending (the adaptive baselines and the
+/// k-way generalizations of [5] all process sets smallest-first).
+std::vector<const PlainSet*> SortBySize(
+    std::span<const PreprocessedSet* const> sets);
+
+/// Galloping (exponential + binary) search: index of the first element
+/// >= x in sorted[lo, n), expected O(log distance).  The workhorse of the
+/// adaptive algorithms [12, 13, 1, 2, 5].
+std::size_t GallopGreaterEqual(std::span<const Elem> sorted, std::size_t lo,
+                               Elem x);
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_PLAIN_SET_H_

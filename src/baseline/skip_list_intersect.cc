@@ -1,0 +1,44 @@
+#include "baseline/skip_list_intersect.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> SkipListIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<SkipListSet>(set, seed_);
+}
+
+void SkipListIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::vector<const SkipListSet*> sorted;
+  sorted.reserve(sets.size());
+  for (const PreprocessedSet* s : sets) sorted.push_back(&As<SkipListSet>(*s));
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SkipListSet* a, const SkipListSet* b) {
+                     return a->size() < b->size();
+                   });
+  if (sorted.empty()) return;
+  const SkipList<Elem>& lead = sorted[0]->list();
+  std::size_t k = sorted.size();
+  std::vector<std::uint32_t> cursor(k, 0);
+  for (std::uint32_t i = 0; i < lead.size(); ++i) {
+    Elem x = lead.key(i);
+    bool in_all = true;
+    for (std::size_t s = 1; s < k; ++s) {
+      const SkipList<Elem>& other = sorted[s]->list();
+      std::uint32_t c = other.SeekGreaterEqual(x, cursor[s]);
+      cursor[s] = c;
+      if (c >= other.size()) return;  // other set exhausted
+      if (other.key(c) != x) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out->push_back(x);
+  }
+}
+
+}  // namespace fsi

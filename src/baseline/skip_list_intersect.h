@@ -1,0 +1,54 @@
+// SkipList: intersection over skip-list representations (Pugh [18]).
+//
+// The paper's competitor (ii).  The smallest set is scanned in order; every
+// element is sought in the other sets' skip lists.  Seeks use the lists'
+// O(log n) descent; cursors are monotone so repeated seeks never move
+// backwards.
+
+#ifndef FSI_BASELINE_SKIP_LIST_INTERSECT_H_
+#define FSI_BASELINE_SKIP_LIST_INTERSECT_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "container/skip_list.h"
+#include "core/algorithm.h"
+
+namespace fsi {
+
+/// Preprocessed form: a static skip list over the set.
+class SkipListSet : public PreprocessedSet {
+ public:
+  SkipListSet(std::span<const Elem> set, std::uint64_t seed)
+      : list_(set, seed) {}
+
+  std::size_t size() const override { return list_.size(); }
+  std::size_t SizeInWords() const override { return list_.SizeInWords(); }
+
+  const SkipList<Elem>& list() const { return list_; }
+
+ private:
+  SkipList<Elem> list_;
+};
+
+class SkipListIntersection : public IntersectionAlgorithm {
+ public:
+  explicit SkipListIntersection(std::uint64_t seed = 0x243f6a8885a308d3ULL)
+      : seed_(seed) {}
+
+  std::string_view name() const override { return "SkipList"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_SKIP_LIST_INTERSECT_H_

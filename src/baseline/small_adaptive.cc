@@ -1,0 +1,57 @@
+#include "baseline/small_adaptive.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "baseline/plain_set.h"
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> SmallAdaptiveIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<PlainSet>(set);
+}
+
+void SmallAdaptiveIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::size_t k = sets.size();
+  if (k == 0) return;
+  std::vector<std::span<const Elem>> lists;
+  lists.reserve(k);
+  for (const PreprocessedSet* s : sets) {
+    lists.push_back(As<PlainSet>(*s).elems());
+  }
+  if (k == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
+  }
+  std::vector<std::size_t> pos(k, 0);
+  std::vector<std::size_t> order(k);  // set indices, smallest remainder first
+  std::iota(order.begin(), order.end(), 0);
+  auto remaining = [&](std::size_t s) { return lists[s].size() - pos[s]; };
+  while (true) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return remaining(a) < remaining(b);
+    });
+    std::size_t lead = order[0];
+    if (pos[lead] >= lists[lead].size()) return;
+    Elem e = lists[lead][pos[lead]++];
+    bool in_all = true;
+    for (std::size_t j = 1; j < k; ++j) {
+      std::size_t s = order[j];
+      std::size_t p = GallopGreaterEqual(lists[s], pos[s], e);
+      pos[s] = p;
+      if (p >= lists[s].size()) return;  // s exhausted; nothing more can match
+      if (lists[s][p] != e) {
+        in_all = false;
+        break;
+      }
+      pos[s] = p + 1;  // consume the confirmed occurrence
+    }
+    if (in_all) out->push_back(e);
+  }
+}
+
+}  // namespace fsi

@@ -1,0 +1,39 @@
+// SmallAdaptive: the hybrid adaptive algorithm of Barbay, López-Ortiz, Lu &
+// Salinger [5] ("An experimental investigation of set intersection
+// algorithms for text searching").
+//
+// The paper's competitor (vi), and the algorithm whose
+// O(n1 log(n2/n1))-style asymmetric bound HashBin (Section 3.4) matches
+// with simpler online processing.  Each round:
+//   1. order the sets by *remaining* size (the suffix not yet consumed);
+//   2. take the first element e of the set with the smallest remainder;
+//   3. gallop for e through the other sets in increasing remainder order,
+//      consuming the scanned prefixes; stop at the first miss;
+//   4. if every set confirmed e, emit it.
+// Re-ranking after every element makes it adaptive to local density changes.
+
+#ifndef FSI_BASELINE_SMALL_ADAPTIVE_H_
+#define FSI_BASELINE_SMALL_ADAPTIVE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+class SmallAdaptiveIntersection : public IntersectionAlgorithm {
+ public:
+  std::string_view name() const override { return "SmallAdaptive"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_SMALL_ADAPTIVE_H_

@@ -1,0 +1,35 @@
+#include "baseline/svs.h"
+
+#include <vector>
+
+#include "baseline/plain_set.h"
+
+namespace fsi {
+
+std::unique_ptr<PreprocessedSet> SvsIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  CheckSortedUnique(set, name());
+  return std::make_unique<PlainSet>(set);
+}
+
+void SvsIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
+                                ElemList* out) const {
+  std::vector<const PlainSet*> sorted = SortBySize(sets);
+  if (sorted.empty()) return;
+  out->assign(sorted[0]->elems().begin(), sorted[0]->elems().end());
+  ElemList next;
+  for (std::size_t s = 1; s < sorted.size() && !out->empty(); ++s) {
+    std::span<const Elem> big = sorted[s]->elems();
+    next.clear();
+    next.reserve(out->size());
+    std::size_t cursor = 0;
+    for (Elem x : *out) {
+      cursor = GallopGreaterEqual(big, cursor, x);
+      if (cursor == big.size()) break;
+      if (big[cursor] == x) next.push_back(x);
+    }
+    out->swap(next);
+  }
+}
+
+}  // namespace fsi

@@ -1,0 +1,33 @@
+// SvS ("smallest vs. smallest") with galloping search.
+//
+// The classic adaptive baseline ([12, 13, 3]; best-performing adaptive
+// algorithm in several of the paper's experiments): sort the query sets by
+// size, take the smallest as the candidate set, and for each further set
+// keep only the candidates found by galloping search, processing sets in
+// increasing size order.  O(n1 log(n2/n1))-style behaviour on skewed inputs.
+
+#ifndef FSI_BASELINE_SVS_H_
+#define FSI_BASELINE_SVS_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+class SvsIntersection : public IntersectionAlgorithm {
+ public:
+  std::string_view name() const override { return "SvS"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_BASELINE_SVS_H_

@@ -1,0 +1,138 @@
+// MSB-first bit streams.
+//
+// Substrate for the compressed structures of Section 4.1 and Appendix B:
+// γ-/δ-coded posting lists (Merge_Delta, Lookup_Delta, RanGroupScan_Delta)
+// and the Lowbits block format.  Writing is append-only; reading is a
+// sequential cursor with O(1) Skip for fixed-width fields.
+
+#ifndef FSI_CODEC_BIT_STREAM_H_
+#define FSI_CODEC_BIT_STREAM_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsi {
+
+/// Append-only bit sink; bits are stored MSB-first inside 64-bit words.
+class BitWriter {
+ public:
+  /// Appends the `bits` low-order bits of `value`, most significant first.
+  /// Precondition: 0 <= bits <= 64 and value < 2^bits.
+  void Write(std::uint64_t value, int bits) {
+    assert(bits >= 0 && bits <= 64);
+    assert(bits == 64 || (value >> bits) == 0);
+    while (bits > 0) {
+      if (fill_ == 64) {
+        buffer_.push_back(0);
+        fill_ = 0;
+      }
+      int room = 64 - fill_;
+      int take = bits < room ? bits : room;
+      std::uint64_t chunk =
+          (bits == 64 && take == 64) ? value : (value >> (bits - take));
+      chunk &= take == 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << take) - 1);
+      buffer_.back() |= chunk << (room - take);
+      fill_ += take;
+      bits -= take;
+    }
+  }
+
+  /// Appends a single bit.
+  void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
+
+  /// Appends `n` in unary: n zero bits followed by a one bit (so 0 → "1",
+  /// 2 → "001").  Matches the |L^z_i| encoding of Appendix B.
+  void WriteUnary(std::uint64_t n) {
+    while (n >= 64) {
+      Write(0, 64);
+      n -= 64;
+    }
+    Write(1, static_cast<int>(n) + 1);
+  }
+
+  /// Total number of bits written so far.
+  std::size_t BitCount() const {
+    return buffer_.empty() ? 0 : (buffer_.size() - 1) * 64 + fill_;
+  }
+
+  /// Storage size in 64-bit words.
+  std::size_t SizeInWords() const { return buffer_.size(); }
+
+  const std::vector<std::uint64_t>& buffer() const { return buffer_; }
+  std::vector<std::uint64_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint64_t> buffer_;
+  int fill_ = 64;  // bits used in buffer_.back(); 64 forces a fresh word
+};
+
+/// Sequential bit cursor over a word buffer produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint64_t* data, std::size_t bit_count)
+      : data_(data), bit_count_(bit_count) {}
+
+  explicit BitReader(const std::vector<std::uint64_t>& buf)
+      : BitReader(buf.data(), buf.size() * 64) {}
+
+  /// Reads `bits` bits MSB-first.  Precondition: bits <= 64 and enough
+  /// bits remain.
+  std::uint64_t Read(int bits) {
+    assert(bits >= 0 && bits <= 64);
+    assert(pos_ + static_cast<std::size_t>(bits) <= bit_count_);
+    std::uint64_t out = 0;
+    int need = bits;
+    while (need > 0) {
+      std::size_t word = pos_ >> 6;
+      int offset = static_cast<int>(pos_ & 63);
+      int avail = 64 - offset;
+      int take = need < avail ? need : avail;
+      std::uint64_t chunk = data_[word] << offset;  // align MSB
+      chunk >>= (64 - take);
+      out = take == 64 ? chunk : ((out << take) | chunk);
+      pos_ += static_cast<std::size_t>(take);
+      need -= take;
+    }
+    return out;
+  }
+
+  bool ReadBit() { return Read(1) != 0; }
+
+  /// Reads a unary-coded value (count of zeros before the terminating one).
+  std::uint64_t ReadUnary() {
+    std::uint64_t n = 0;
+    while (true) {
+      std::size_t word = pos_ >> 6;
+      int offset = static_cast<int>(pos_ & 63);
+      std::uint64_t chunk = data_[word] << offset;
+      if (chunk == 0) {
+        n += static_cast<std::uint64_t>(64 - offset);
+        pos_ += static_cast<std::size_t>(64 - offset);
+        assert(pos_ < bit_count_);
+        continue;
+      }
+      int zeros = std::countl_zero(chunk);
+      n += static_cast<std::uint64_t>(zeros);
+      pos_ += static_cast<std::size_t>(zeros) + 1;  // consume the 1-bit too
+      return n;
+    }
+  }
+
+  void Skip(std::size_t bits) { pos_ += bits; }
+  std::size_t position() const { return pos_; }
+  std::size_t bit_count() const { return bit_count_; }
+  bool AtEnd() const { return pos_ >= bit_count_; }
+
+ private:
+  const std::uint64_t* data_;
+  std::size_t bit_count_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CODEC_BIT_STREAM_H_

@@ -1,0 +1,57 @@
+// Elias γ- and δ-codes (Witten, Moffat & Bell [23], p.116).
+//
+// These are the "standard techniques" the paper uses in Section 4.1 to
+// compress the sequentially-accessed posting data of Merge, Lookup and
+// RanGroupScan.  Both codes encode positive integers (>= 1); posting lists
+// are encoded as γ/δ-coded gaps (first element + successive differences).
+
+#ifndef FSI_CODEC_ELIAS_H_
+#define FSI_CODEC_ELIAS_H_
+
+#include <cstdint>
+
+#include "codec/bit_stream.h"
+#include "util/bits.h"
+
+namespace fsi {
+
+/// γ-code of x >= 1: unary(floor(log2 x)) followed by the floor(log2 x)
+/// low-order bits of x.
+inline void WriteGamma(BitWriter& out, std::uint64_t x) {
+  int n = FloorLog2(x);
+  out.WriteUnary(static_cast<std::uint64_t>(n));
+  if (n > 0) out.Write(x & ((std::uint64_t{1} << n) - 1), n);
+}
+
+inline std::uint64_t ReadGamma(BitReader& in) {
+  int n = static_cast<int>(in.ReadUnary());
+  std::uint64_t low = n > 0 ? in.Read(n) : 0;
+  return (std::uint64_t{1} << n) | low;
+}
+
+/// δ-code of x >= 1: γ-code of (floor(log2 x) + 1) followed by the low bits
+/// of x.  Asymptotically shorter than γ for large values.
+inline void WriteDelta(BitWriter& out, std::uint64_t x) {
+  int n = FloorLog2(x);
+  WriteGamma(out, static_cast<std::uint64_t>(n) + 1);
+  if (n > 0) out.Write(x & ((std::uint64_t{1} << n) - 1), n);
+}
+
+inline std::uint64_t ReadDelta(BitReader& in) {
+  int n = static_cast<int>(ReadGamma(in)) - 1;
+  std::uint64_t low = n > 0 ? in.Read(n) : 0;
+  return (std::uint64_t{1} << n) | low;
+}
+
+/// Bit length of the γ-code of x (for space accounting).
+inline int GammaBits(std::uint64_t x) { return 2 * FloorLog2(x) + 1; }
+
+/// Bit length of the δ-code of x.
+inline int DeltaBits(std::uint64_t x) {
+  int n = FloorLog2(x);
+  return GammaBits(static_cast<std::uint64_t>(n) + 1) + n;
+}
+
+}  // namespace fsi
+
+#endif  // FSI_CODEC_ELIAS_H_

@@ -1,0 +1,100 @@
+// Open-addressing hash set for 32/64-bit integer keys.
+//
+// Substrate for the paper's "Hash" baseline (Section 4 competitor (iii)):
+// "we iterate over the smallest set L1, looking up every element x in
+// hash-table representations of L2, ..., Lk".  We build our own table
+// rather than std::unordered_set so the probe sequence is a single cache
+// line in the common case and the space accounting (SizeInWords) is exact.
+//
+// Linear probing with a multiply-shift hash, power-of-two capacity and a
+// fixed load factor of 1/2.  Keys are immutable after Build (the paper's
+// scenario is static set data), so no deletion support is needed.
+
+#ifndef FSI_CONTAINER_HASH_SET_H_
+#define FSI_CONTAINER_HASH_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace fsi {
+
+/// Static integer hash set with linear probing.
+template <typename Key>
+class HashSet {
+ public:
+  HashSet() = default;
+
+  /// Builds the table from `keys` (need not be sorted; duplicates collapse).
+  explicit HashSet(std::span<const Key> keys,
+                   std::uint64_t seed = 0x8f3a91c2b4d5e6f7ULL) {
+    Build(keys, seed);
+  }
+
+  void Build(std::span<const Key> keys, std::uint64_t seed) {
+    multiplier_ = SplitMix64(seed).Next() | 1;
+    std::size_t capacity = 16;
+    while (capacity < keys.size() * 2) capacity *= 2;
+    shift_ = 64 - CeilLog2(capacity);
+    slots_.assign(capacity, kEmpty);
+    size_ = 0;
+    for (Key k : keys) Insert(k);
+  }
+
+  /// True iff `key` is in the set.  Average O(1).
+  bool Contains(Key key) const {
+    if (slots_.empty()) return false;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = Slot(key);
+    while (true) {
+      std::uint64_t s = slots_[i];
+      if (s == kEmpty) return false;
+      if (s == static_cast<std::uint64_t>(key)) return true;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Total heap footprint in 64-bit words (for the space experiments).
+  std::size_t SizeInWords() const { return slots_.size(); }
+
+ private:
+  // Sentinel: ~0 marks an empty slot, so keys must be < 2^64 - 1.  All
+  // callers store 32-bit document IDs widened to 64 bits, which can never
+  // collide with the sentinel.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::size_t Slot(Key key) const {
+    return static_cast<std::size_t>(
+        (multiplier_ * static_cast<std::uint64_t>(key)) >> shift_);
+  }
+
+  void Insert(Key key) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = Slot(key);
+    while (true) {
+      std::uint64_t s = slots_[i];
+      if (s == static_cast<std::uint64_t>(key)) return;  // duplicate
+      if (s == kEmpty) {
+        slots_[i] = static_cast<std::uint64_t>(key);
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::uint64_t multiplier_ = 1;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CONTAINER_HASH_SET_H_

@@ -1,0 +1,131 @@
+// Static skip list after Pugh's "A skip list cookbook" [18].
+//
+// Substrate for the paper's "SkipList" baseline (Section 4 competitor (ii)).
+// As the paper's implementation notes say, we "follow [18], with
+// simplifications since we are focusing on static data and do not need fast
+// insertion/deletion": the list is built once from a sorted array, tower
+// heights are drawn geometrically (p = 1/2, as in the cookbook), and all
+// forward pointers live in one contiguous arena.
+//
+// The intersection-relevant operation is SeekGreaterEqual(x): find the first
+// element >= x in expected O(log n) by descending from the head tower.
+
+#ifndef FSI_CONTAINER_SKIP_LIST_H_
+#define FSI_CONTAINER_SKIP_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+
+/// Immutable skip list over a sorted sequence of keys.
+template <typename Key>
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 32;
+  /// Sentinel node index meaning "end of list".
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  SkipList() = default;
+
+  /// Builds from sorted unique keys (at most 2^32 - 1 of them).
+  explicit SkipList(std::span<const Key> sorted_keys,
+                    std::uint64_t seed = 0xc1f651c67c62c6e0ULL) {
+    Build(sorted_keys, seed);
+  }
+
+  void Build(std::span<const Key> sorted_keys, std::uint64_t seed) {
+    n_ = static_cast<std::uint32_t>(sorted_keys.size());
+    keys_.assign(sorted_keys.begin(), sorted_keys.end());
+    tower_offset_.assign(n_ + 1, 0);
+    Xoshiro256 rng(seed);
+    levels_ = 1;
+    std::vector<std::uint8_t> heights(n_);
+    std::uint32_t total = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      int h = 1;
+      while (h < kMaxLevel && (rng.Next() & 1) != 0) ++h;  // p = 1/2
+      heights[i] = static_cast<std::uint8_t>(h);
+      if (h > levels_) levels_ = h;
+      tower_offset_[i] = total;
+      total += static_cast<std::uint32_t>(h);
+    }
+    tower_offset_[n_] = total;
+    forward_.assign(total, kNil);
+    head_.assign(static_cast<std::size_t>(levels_), kNil);
+    // Link level by level, right to left, tracking the most recent node seen
+    // at each level.
+    std::vector<std::uint32_t> last(static_cast<std::size_t>(levels_), kNil);
+    for (std::uint32_t ii = n_; ii > 0; --ii) {
+      std::uint32_t i = ii - 1;
+      for (int l = 0; l < heights[i]; ++l) {
+        forward_[tower_offset_[i] + static_cast<std::uint32_t>(l)] =
+            last[static_cast<std::size_t>(l)];
+        last[static_cast<std::size_t>(l)] = i;
+      }
+    }
+    head_ = last;
+  }
+
+  std::uint32_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Key at node index i (node indices are sorted-rank order).
+  Key key(std::uint32_t i) const { return keys_[i]; }
+
+  /// Index of the first node with key >= x; size() when none.  The `hint`
+  /// is a lower-bound cursor from a previous search: if the hinted node
+  /// already satisfies the query we return it in O(1).
+  std::uint32_t SeekGreaterEqual(Key x, std::uint32_t hint = 0) const {
+    if (hint >= n_) return n_;
+    if (keys_[hint] >= x) return hint;
+    // Descend from the head tower.
+    std::uint32_t cur = kNil;  // kNil plays the role of the head node
+    for (int l = levels_ - 1; l >= 0; --l) {
+      std::uint32_t nxt = (cur == kNil)
+                              ? head_[static_cast<std::size_t>(l)]
+                              : ForwardAt(cur, l);
+      while (nxt != kNil && keys_[nxt] < x) {
+        cur = nxt;
+        nxt = ForwardAt(cur, l);
+      }
+    }
+    std::uint32_t ans = (cur == kNil) ? head_[0] : ForwardAt(cur, 0);
+    return ans == kNil ? n_ : ans;
+  }
+
+  /// True iff x is present.
+  bool Contains(Key x) const {
+    std::uint32_t i = SeekGreaterEqual(x, 0);
+    return i < n_ && keys_[i] == x;
+  }
+
+  /// Heap footprint in 64-bit words (for the space experiments).
+  std::size_t SizeInWords() const {
+    std::size_t bytes = keys_.size() * sizeof(Key) +
+                        forward_.size() * sizeof(std::uint32_t) +
+                        tower_offset_.size() * sizeof(std::uint32_t) +
+                        head_.size() * sizeof(std::uint32_t);
+    return (bytes + 7) / 8;
+  }
+
+ private:
+  std::uint32_t ForwardAt(std::uint32_t node, int level) const {
+    return forward_[tower_offset_[node] + static_cast<std::uint32_t>(level)];
+  }
+
+  std::uint32_t n_ = 0;
+  int levels_ = 1;
+  std::vector<Key> keys_;
+  std::vector<std::uint32_t> tower_offset_;  // n_ + 1 entries
+  std::vector<std::uint32_t> forward_;       // flat tower arena
+  std::vector<std::uint32_t> head_;          // head tower
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CONTAINER_SKIP_LIST_H_

@@ -1,0 +1,20 @@
+#include "core/algorithm.h"
+
+namespace fsi {
+
+ElemList IntersectionAlgorithm::IntersectLists(
+    std::span<const ElemList> lists) const {
+  std::vector<std::unique_ptr<PreprocessedSet>> owned;
+  owned.reserve(lists.size());
+  std::vector<const PreprocessedSet*> views;
+  views.reserve(lists.size());
+  for (const ElemList& list : lists) {
+    owned.push_back(Preprocess(list));
+    views.push_back(owned.back().get());
+  }
+  ElemList out;
+  Intersect(views, &out);
+  return out;
+}
+
+}  // namespace fsi

@@ -1,0 +1,75 @@
+#include "core/bag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsi {
+
+std::uint32_t PreprocessedBag::CountOf(Elem x) const {
+  auto it = std::lower_bound(elements_.begin(), elements_.end(), x);
+  if (it == elements_.end() || *it != x) return 0;
+  return counts_[static_cast<std::size_t>(it - elements_.begin())];
+}
+
+std::unique_ptr<PreprocessedBag> BagIntersection::Preprocess(
+    std::span<const BagEntry> bag) const {
+  std::vector<Elem> elements;
+  std::vector<std::uint32_t> counts;
+  elements.reserve(bag.size());
+  counts.reserve(bag.size());
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (bag[i].count == 0) {
+      throw std::invalid_argument("BagIntersection: zero multiplicity");
+    }
+    if (i > 0 && bag[i].element <= bag[i - 1].element) {
+      throw std::invalid_argument(
+          "BagIntersection: entries must be sorted with distinct elements");
+    }
+    elements.push_back(bag[i].element);
+    counts.push_back(bag[i].count);
+  }
+  auto distinct = algorithm_->Preprocess(elements);
+  return std::make_unique<PreprocessedBag>(std::move(distinct),
+                                           std::move(elements),
+                                           std::move(counts));
+}
+
+std::unique_ptr<PreprocessedBag> BagIntersection::PreprocessMultiset(
+    std::span<const Elem> multiset) const {
+  std::vector<BagEntry> bag;
+  for (std::size_t i = 0; i < multiset.size(); ++i) {
+    if (i > 0 && multiset[i] < multiset[i - 1]) {
+      throw std::invalid_argument("BagIntersection: multiset must be sorted");
+    }
+    if (!bag.empty() && bag.back().element == multiset[i]) {
+      ++bag.back().count;
+    } else {
+      bag.push_back({multiset[i], 1});
+    }
+  }
+  return Preprocess(bag);
+}
+
+std::vector<BagEntry> BagIntersection::Intersect(
+    std::span<const PreprocessedBag* const> bags) const {
+  std::vector<BagEntry> result;
+  if (bags.empty()) return result;
+  // Distinct-element intersection through the wrapped algorithm.
+  std::vector<const PreprocessedSet*> sets;
+  sets.reserve(bags.size());
+  for (const PreprocessedBag* b : bags) sets.push_back(b->distinct());
+  ElemList common;
+  algorithm_->Intersect(sets, &common);
+  // Frequency resolution: min count across bags.
+  result.reserve(common.size());
+  for (Elem x : common) {
+    std::uint32_t min_count = ~std::uint32_t{0};
+    for (const PreprocessedBag* b : bags) {
+      min_count = std::min(min_count, b->CountOf(x));
+    }
+    result.push_back({x, min_count});
+  }
+  return result;
+}
+
+}  // namespace fsi

@@ -1,0 +1,354 @@
+#include "core/compressed_scan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codec/elias.h"
+#include "util/rng.h"
+
+namespace fsi {
+
+CompressedScanSet::CompressedScanSet(std::span<const Elem> set,
+                                     const FeistelPermutation& g,
+                                     const WordHashFamily& hashes, int t,
+                                     ScanCodec codec)
+    : n_(set.size()), t_(t), codec_(codec) {
+  CheckSortedUnique(set, "CompressedScan");
+  if (!set.empty() && g.domain_bits() < 32 &&
+      set.back() >= (Elem{1} << g.domain_bits())) {
+    throw std::invalid_argument(
+        "CompressedScan: element outside the permutation domain");
+  }
+  std::vector<std::uint32_t> gvals(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    gvals[i] = static_cast<std::uint32_t>(g.Apply(set[i]));
+  }
+  std::sort(gvals.begin(), gvals.end());
+
+  const int b = g.domain_bits();
+  const int low_bits = b - t_;
+  const std::uint64_t low_mask =
+      low_bits >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << low_bits) - 1);
+  const int m = hashes.size();
+  BitWriter w;
+  std::size_t i = 0;
+  for (std::uint64_t z = 0; z < (std::uint64_t{1} << t_); ++z) {
+    std::uint64_t win_hi = (z + 1) << low_bits;
+    std::size_t begin = i;
+    while (i < n_ && gvals[i] < win_hi) ++i;
+    std::uint32_t len = static_cast<std::uint32_t>(i - begin);
+    w.WriteUnary(len);
+    if (len == 0) continue;
+    // m image words.
+    std::vector<Word> images(static_cast<std::size_t>(m), 0);
+    for (std::size_t e = begin; e < i; ++e) {
+      hashes.AccumulateImages(gvals[e], images.data());
+    }
+    for (Word img : images) w.Write(img, 64);
+    // Elements.
+    if (codec_ == ScanCodec::kLowbits) {
+      for (std::size_t e = begin; e < i; ++e) {
+        w.Write(gvals[e] & low_mask, low_bits);
+      }
+    } else {
+      std::uint64_t prev = (z << low_bits);  // window base; first gap >= 1?
+      for (std::size_t e = begin; e < i; ++e) {
+        // Gap = gval - prev + 1 for the first element (gval may equal the
+        // base), then strictly positive diffs thereafter.
+        std::uint64_t gap = gvals[e] - prev + (e == begin ? 1 : 0);
+        if (codec_ == ScanCodec::kGamma) {
+          WriteGamma(w, gap);
+        } else {
+          WriteDelta(w, gap);
+        }
+        prev = gvals[e];
+      }
+    }
+  }
+  bit_count_ = w.BitCount();
+  bits_ = w.TakeBuffer();
+}
+
+CompressedScanIntersection::CompressedScanIntersection(const Options& options)
+    : options_(options),
+      g_(options.universe_bits, SplitMix64(options.seed).Next()),
+      hashes_(options.m, SplitMix64(options.seed ^ 0xc0ac29b7c97c50ddULL)
+                             .Next()) {
+  if (options.m < 1) {
+    throw std::invalid_argument("CompressedScan: m must be >= 1");
+  }
+  switch (options.codec) {
+    case ScanCodec::kLowbits:
+      name_ = "RanGroupScan_Lowbits";
+      break;
+    case ScanCodec::kGamma:
+      name_ = "RanGroupScan_Gamma";
+      break;
+    case ScanCodec::kDelta:
+      name_ = "RanGroupScan_Delta";
+      break;
+  }
+}
+
+std::unique_ptr<PreprocessedSet> CompressedScanIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  std::uint64_t n = set.size();
+  int t = 0;
+  if (n > kSqrtWordBits) {
+    t = CeilLog2((n + kSqrtWordBits - 1) / kSqrtWordBits);
+  }
+  t = std::min(t, g_.domain_bits());
+  return std::make_unique<CompressedScanSet>(set, g_, hashes_, t,
+                                             options_.codec);
+}
+
+namespace {
+
+/// A forward-only cursor over one set's block stream.
+class GroupCursor {
+ public:
+  GroupCursor(const CompressedScanSet& set, int m, int domain_bits)
+      : set_(set),
+        reader_(set.bits().data(), set.bit_count()),
+        m_(m),
+        low_bits_(domain_bits - set.t()),
+        low_mask_(low_bits_ >= 64 ? ~std::uint64_t{0}
+                                  : ((std::uint64_t{1} << low_bits_) - 1)),
+        images_(static_cast<std::size_t>(m), 0) {}
+
+  /// Moves the cursor to group z (z must be >= the current group).
+  void LoadGroup(std::uint64_t z) {
+    while (next_group_ <= z) {
+      ConsumePendingElements();
+      len_ = static_cast<std::uint32_t>(reader_.ReadUnary());
+      if (len_ > 0) {
+        for (int j = 0; j < m_; ++j) images_[static_cast<std::size_t>(j)] = reader_.Read(64);
+        pending_ = true;
+      } else {
+        std::fill(images_.begin(), images_.end(), 0);
+        pending_ = false;
+      }
+      current_group_ = next_group_;
+      ++next_group_;
+      decoded_ = false;
+      scan_idx_ = 0;
+    }
+  }
+
+  std::uint32_t len() const { return len_; }
+  Word image(int j) const { return images_[static_cast<std::size_t>(j)]; }
+
+  /// Decodes the current group's g-values (idempotent per group).
+  const std::vector<std::uint32_t>& DecodeElements() {
+    if (!decoded_) {
+      elems_.clear();
+      elems_.reserve(len_);
+      std::uint64_t base = current_group_ << low_bits_;
+      if (set_.codec() == ScanCodec::kLowbits) {
+        for (std::uint32_t e = 0; e < len_; ++e) {
+          elems_.push_back(
+              static_cast<std::uint32_t>(base | reader_.Read(low_bits_)));
+        }
+      } else {
+        std::uint64_t prev = base;
+        for (std::uint32_t e = 0; e < len_; ++e) {
+          std::uint64_t gap = set_.codec() == ScanCodec::kGamma
+                                  ? ReadGamma(reader_)
+                                  : ReadDelta(reader_);
+          prev += gap - (e == 0 ? 1 : 0);
+          elems_.push_back(static_cast<std::uint32_t>(prev));
+        }
+      }
+      pending_ = false;
+      decoded_ = true;
+      scan_idx_ = 0;
+    }
+    return elems_;
+  }
+
+  /// Rolling index into the decoded group (windows ascend within a group).
+  std::size_t scan_idx() const { return scan_idx_; }
+  void set_scan_idx(std::size_t i) { scan_idx_ = i; }
+
+ private:
+  void ConsumePendingElements() {
+    if (!pending_) return;
+    if (set_.codec() == ScanCodec::kLowbits) {
+      // O(1) skip — the Lowbits advantage.
+      reader_.Skip(static_cast<std::size_t>(len_) *
+                   static_cast<std::size_t>(low_bits_));
+    } else {
+      // Variable-width codes must be decoded to be skipped.
+      for (std::uint32_t e = 0; e < len_; ++e) {
+        if (set_.codec() == ScanCodec::kGamma) {
+          (void)ReadGamma(reader_);
+        } else {
+          (void)ReadDelta(reader_);
+        }
+      }
+    }
+    pending_ = false;
+  }
+
+  const CompressedScanSet& set_;
+  BitReader reader_;
+  int m_;
+  int low_bits_;
+  std::uint64_t low_mask_;
+  std::uint64_t current_group_ = 0;
+  std::uint64_t next_group_ = 0;
+  std::uint32_t len_ = 0;
+  bool pending_ = false;
+  bool decoded_ = false;
+  std::vector<Word> images_;
+  std::vector<std::uint32_t> elems_;
+  std::size_t scan_idx_ = 0;
+};
+
+}  // namespace
+
+void CompressedScanIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  IntersectUnordered(sets, out);
+  std::sort(out->begin(), out->end());
+}
+
+void CompressedScanIntersection::IntersectUnordered(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::size_t k = sets.size();
+  if (k == 0) return;
+  std::vector<const CompressedScanSet*> sorted;
+  sorted.reserve(k);
+  for (const PreprocessedSet* s : sets) {
+    sorted.push_back(&As<CompressedScanSet>(*s));
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CompressedScanSet* a, const CompressedScanSet* b) {
+                     return a->size() < b->size();
+                   });
+  std::vector<std::uint32_t> result_gvals;
+  const int b = g_.domain_bits();
+  const int m = options_.m;
+  if (sorted[0]->size() == 0) return;
+  if (k == 1) {
+    GroupCursor cur(*sorted[0], m, b);
+    for (std::uint64_t z = 0; z < (std::uint64_t{1} << sorted[0]->t()); ++z) {
+      cur.LoadGroup(z);
+      if (cur.len() == 0) continue;
+      const auto& gv = cur.DecodeElements();
+      result_gvals.insert(result_gvals.end(), gv.begin(), gv.end());
+    }
+  } else {
+    std::vector<int> t(k);
+    for (std::size_t i = 0; i < k; ++i) t[i] = sorted[i]->t();
+    for (std::size_t i = k - 1; i > 0; --i) {
+      if (t[i - 1] > t[i]) {
+        throw std::logic_error("CompressedScan: inconsistent resolutions");
+      }
+    }
+    const int tk = t[k - 1];
+    const std::uint64_t zk_count = std::uint64_t{1} << tk;
+
+    std::vector<GroupCursor> cursors;
+    cursors.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      cursors.emplace_back(*sorted[i], m, b);
+    }
+    std::vector<Word> partial(k * static_cast<std::size_t>(m), 0);
+    std::vector<std::uint64_t> prev_z(k, ~std::uint64_t{0});
+
+    std::uint64_t zk = 0;
+    while (zk < zk_count) {
+      std::size_t level = k;
+      for (std::size_t i = 0; i < k; ++i) {
+        if ((zk >> (tk - t[i])) != prev_z[i]) {
+          level = i;
+          break;
+        }
+      }
+      bool dead = false;
+      for (std::size_t i = level; i < k; ++i) {
+        std::uint64_t zi = zk >> (tk - t[i]);
+        prev_z[i] = zi;
+        cursors[i].LoadGroup(zi);
+        bool any_zero = false;
+        for (int j = 0; j < m; ++j) {
+          Word img = cursors[i].image(j);
+          Word p = (i == 0) ? img : (partial[(i - 1) * m + j] & img);
+          partial[i * static_cast<std::size_t>(m) + j] = p;
+          any_zero |= (p == 0);
+        }
+        if (any_zero) {
+          zk = (zi + 1) << (tk - t[i]);
+          for (std::size_t jj = i; jj < k; ++jj) {
+            prev_z[jj] = ~std::uint64_t{0};
+          }
+          dead = true;
+          break;
+        }
+      }
+      if (dead) continue;
+
+      // Verification merge over the z_k window.
+      const std::uint64_t win_lo = zk << (b - tk);
+      const std::uint64_t win_hi = (zk + 1) << (b - tk);
+      // Per-set: decode the group, position the rolling index at win_lo.
+      bool empty_window = false;
+      std::vector<std::span<const std::uint32_t>> gv(k);
+      std::vector<std::size_t> pos(k);
+      std::vector<std::size_t> lim(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        std::uint64_t zi = zk >> (tk - t[i]);
+        (void)zi;
+        const auto& decoded = cursors[i].DecodeElements();
+        gv[i] = decoded;
+        std::size_t c = cursors[i].scan_idx();
+        while (c < decoded.size() && decoded[c] < win_lo) ++c;
+        cursors[i].set_scan_idx(c);
+        pos[i] = c;
+        lim[i] = decoded.size();
+        if (c >= decoded.size() || decoded[c] >= win_hi) {
+          empty_window = true;
+          break;
+        }
+      }
+      if (!empty_window) {
+        std::uint32_t cand = gv[0][pos[0]];
+        std::size_t agree = 1;
+        std::size_t i = 1;
+        while (true) {
+          std::size_t p = pos[i];
+          while (p < lim[i] && gv[i][p] < cand) ++p;
+          pos[i] = p;
+          if (cursors[i].scan_idx() < p) cursors[i].set_scan_idx(p);
+          if (p >= lim[i] || gv[i][p] >= win_hi) break;
+          if (gv[i][p] == cand) {
+            if (++agree == k) {
+              result_gvals.push_back(cand);
+              ++pos[i];
+              if (cursors[i].scan_idx() < pos[i]) {
+                cursors[i].set_scan_idx(pos[i]);
+              }
+              if (pos[i] >= lim[i] || gv[i][pos[i]] >= win_hi) break;
+              cand = gv[i][pos[i]];
+              agree = 1;
+            }
+          } else {
+            cand = gv[i][p];
+            agree = 1;
+          }
+          i = (i + 1) % k;
+        }
+      }
+      ++zk;
+    }
+  }
+
+  out->reserve(result_gvals.size());
+  for (std::uint32_t gvv : result_gvals) {
+    out->push_back(static_cast<Elem>(g_.Invert(gvv)));
+  }
+}
+
+}  // namespace fsi

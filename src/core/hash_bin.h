@@ -1,0 +1,84 @@
+// HashBin: intersecting small and large sets (Section 3.4).
+//
+// Both sets are viewed at resolution t = ceil(log2 n1) of the shared
+// permutation g, so the smaller set has O(1) expected elements per group
+// and the larger O(n2/n1).  For every element x of the smaller set's group
+// L^z_1, a binary search over the *g-values* of L^z_2 (which are sorted,
+// even though the raw elements inside a group are not — A.6.1) decides
+// membership.  Expected time O(n1 log(n2/n1)) (Theorem 3.11) — the
+// SmallAdaptive bound with a much simpler online phase.  For k > 2 sets, x
+// is looked up in L^z_i only if it was found in L^z_2, ..., L^z_{i-1}.
+//
+// The structure needed is just the g-ordered value array plus group
+// boundaries, i.e. a stripped-down multi-resolution structure; boundaries
+// are recovered online by galloping, so pre-processing stores only the
+// sorted g-values (O(n) space, Theorem 3.11).
+
+#ifndef FSI_CORE_HASH_BIN_H_
+#define FSI_CORE_HASH_BIN_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "hash/feistel.h"
+
+namespace fsi {
+
+/// Preprocessed form: the set in g-order.
+class GOrderedSet : public PreprocessedSet {
+ public:
+  GOrderedSet(std::span<const Elem> set, const FeistelPermutation& g);
+
+  std::size_t size() const override { return gvals_.size(); }
+
+  std::size_t SizeInWords() const override {
+    return (gvals_.size() * sizeof(std::uint32_t) + 7) / 8;
+  }
+
+  std::span<const std::uint32_t> gvals() const { return gvals_; }
+
+ private:
+  std::vector<std::uint32_t> gvals_;
+};
+
+/// Core routine shared with the hybrid facade: intersects k >= 2 g-value
+/// arrays (each ascending, same permutation, `domain_bits`-bit domain),
+/// ordered smallest-first, appending matching g-values to `out_gvals`.
+void HashBinIntersectGvals(
+    std::span<const std::span<const std::uint32_t>> gval_lists,
+    int domain_bits, std::vector<std::uint32_t>* out_gvals);
+
+class HashBinIntersection : public IntersectionAlgorithm {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x3f84d5b5b5470917ULL;
+    int universe_bits = 32;
+  };
+
+  HashBinIntersection() : HashBinIntersection(Options()) {}
+  explicit HashBinIntersection(const Options& options);
+
+  std::string_view name() const override { return "HashBin"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+  void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
+                          ElemList* out) const override;
+
+  const FeistelPermutation& permutation() const { return g_; }
+
+ private:
+  Options options_;
+  FeistelPermutation g_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_HASH_BIN_H_

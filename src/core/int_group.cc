@@ -1,0 +1,155 @@
+#include "core/int_group.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fsi {
+
+FixedGroupSet::FixedGroupSet(std::span<const Elem> set, const WordHash& h,
+                             std::size_t group_size)
+    : group_size_(group_size) {
+  CheckSortedUnique(set, "IntGroup");
+  std::size_t n = set.size();
+  elems_.assign(set.begin(), set.end());
+  hvals_.resize(n);
+  std::size_t groups = group_size_ == 0 ? 0 : (n + group_size_ - 1) / group_size_;
+  images_.assign(groups, 0);
+  mins_.resize(groups);
+  maxs_.resize(groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    hvals_[i] = static_cast<std::uint8_t>(h(elems_[i]));
+  }
+  std::vector<std::uint32_t> order;
+  for (std::size_t p = 0; p < groups; ++p) {
+    auto [lo, hi] = GroupRange(p);
+    mins_[p] = elems_[lo];      // value order still intact here
+    maxs_[p] = elems_[hi - 1];
+    // Reorder the group by (h(x), x) so each h^{-1}(y, .) is a contiguous,
+    // value-ordered run.
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), static_cast<std::uint32_t>(lo));
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (hvals_[a] != hvals_[b]) return hvals_[a] < hvals_[b];
+                return elems_[a] < elems_[b];
+              });
+    std::vector<Elem> tmp_e(order.size());
+    std::vector<std::uint8_t> tmp_h(order.size());
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      tmp_e[j] = elems_[order[j]];
+      tmp_h[j] = hvals_[order[j]];
+      images_[p] |= WordBit(tmp_h[j]);
+    }
+    std::copy(tmp_e.begin(), tmp_e.end(),
+              elems_.begin() + static_cast<std::ptrdiff_t>(lo));
+    std::copy(tmp_h.begin(), tmp_h.end(),
+              hvals_.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+}
+
+std::size_t FixedGroupSet::SizeInWords() const {
+  return (elems_.size() * sizeof(Elem) + 7) / 8 + (hvals_.size() + 7) / 8 +
+         images_.size() + (mins_.size() * sizeof(Elem) + 7) / 8 +
+         (maxs_.size() * sizeof(Elem) + 7) / 8;
+}
+
+IntGroupIntersection::IntGroupIntersection(const Options& options)
+    : options_(options), h_(SplitMix64(options.seed).Next()) {
+  if (options.group_size < 1 || options.group_size > 256) {
+    throw std::invalid_argument("IntGroup: group_size must be in [1, 256]");
+  }
+}
+
+std::unique_ptr<PreprocessedSet> IntGroupIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  return std::make_unique<FixedGroupSet>(set, h_, options_.group_size);
+}
+
+namespace {
+
+/// IntersectSmall (Algorithm 2) on (h, x)-ordered groups: AND the images,
+/// then merge the contiguous h-runs per surviving y.  Appends matches in
+/// (y, value) order; the caller restores global value order with one final
+/// sort.
+void IntersectSmall(const FixedGroupSet& a, std::size_t p,
+                    const FixedGroupSet& b, std::size_t q, ElemList* out) {
+  Word h_and = a.Image(p) & b.Image(q);
+  if (h_and == 0) return;
+  auto [alo, ahi] = a.GroupRange(p);
+  auto [blo, bhi] = b.GroupRange(q);
+  std::span<const std::uint8_t> ha = a.hvals();
+  std::span<const std::uint8_t> hb = b.hvals();
+  std::span<const Elem> ea = a.elems();
+  std::span<const Elem> eb = b.elems();
+  std::size_t ia = alo;
+  std::size_t ib = blo;
+  ForEachBit(h_and, [&](int y) {
+    auto uy = static_cast<std::uint8_t>(y);
+    // h-runs appear in ascending y order, so cursors only move forward.
+    while (ia < ahi && ha[ia] < uy) ++ia;
+    while (ib < bhi && hb[ib] < uy) ++ib;
+    // Linear merge of the two runs (both value-ordered).
+    while (ia < ahi && ib < bhi && ha[ia] == uy && hb[ib] == uy) {
+      if (ea[ia] == eb[ib]) {
+        out->push_back(ea[ia]);
+        ++ia;
+        ++ib;
+      } else if (ea[ia] < eb[ib]) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+    // Skip whatever remains of the runs.
+    while (ia < ahi && ha[ia] == uy) ++ia;
+    while (ib < bhi && hb[ib] == uy) ++ib;
+  });
+}
+
+}  // namespace
+
+void IntGroupIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  IntersectUnordered(sets, out);
+  std::sort(out->begin(), out->end());
+}
+
+void IntGroupIntersection::IntersectUnordered(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  if (sets.size() > 2) {
+    throw std::invalid_argument(
+        "IntGroup: fixed-width partitions support two-set queries only "
+        "(Section 3.1)");
+  }
+  if (sets.empty()) return;
+  const auto& a = As<FixedGroupSet>(*sets[0]);
+  if (sets.size() == 1) {
+    out->assign(a.elems().begin(), a.elems().end());
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  const auto& b = As<FixedGroupSet>(*sets[1]);
+  if (a.size() == 0 || b.size() == 0) return;
+  // Algorithm 1: advance over group pairs by value-range overlap.
+  std::size_t p = 0;
+  std::size_t q = 0;
+  while (p < a.num_groups() && q < b.num_groups()) {
+    if (b.GroupMin(q) > a.GroupMax(p)) {
+      ++p;
+    } else if (a.GroupMin(p) > b.GroupMax(q)) {
+      ++q;
+    } else {
+      IntersectSmall(a, p, b, q, out);
+      if (a.GroupMax(p) < b.GroupMax(q)) {
+        ++p;
+      } else {
+        ++q;
+      }
+    }
+  }
+}
+
+}  // namespace fsi

@@ -1,0 +1,105 @@
+// IntGroup: intersection via fixed-width partitions (Section 3.1,
+// Algorithms 1 & 2).
+//
+// Pre-processing sorts each set and cuts it into groups of sqrt(w) = 8
+// consecutive elements; each group carries the single-word image h(L^p) of
+// its elements under the word hash h.  Online (Algorithm 1), the two group
+// sequences are scanned in parallel; pairs with overlapping value ranges are
+// intersected by IntersectSmall (Algorithm 2): AND the images, then for each
+// surviving h-value y linearly merge the inverted mappings h^{-1}(y, .).
+//
+// Inverted mappings are stored implicitly: within a group, elements are
+// reordered by (h(x), x), so every h^{-1}(y, L^p) is a contiguous run, the
+// runs appear in ascending y order, and elements inside a run are in value
+// order — "the order of these elements is identical across different
+// h^{-1}(y, L^j_i)'s and L_i's", which is what lets two runs be intersected
+// by a linear merge.  Expected time O((n1+n2)/sqrt(w) + r) (Theorem 3.3).
+//
+// The group width is configurable (default sqrt(w)); the A.1.1 analysis of
+// group-size effects is exercised by the abl_group_width benchmark.
+// As Section 3.1 notes ("Limitations of Fixed-Width Partitions"), the
+// scheme does not extend past two sets, so max_query_sets() == 2.
+
+#ifndef FSI_CORE_INT_GROUP_H_
+#define FSI_CORE_INT_GROUP_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "hash/universal_hash.h"
+#include "util/bits.h"
+
+namespace fsi {
+
+/// Preprocessed form: value-partitioned groups with (h, x)-ordered contents.
+class FixedGroupSet : public PreprocessedSet {
+ public:
+  FixedGroupSet(std::span<const Elem> set, const WordHash& h,
+                std::size_t group_size);
+
+  std::size_t size() const override { return elems_.size(); }
+  std::size_t SizeInWords() const override;
+
+  std::size_t group_size() const { return group_size_; }
+  std::size_t num_groups() const { return images_.size(); }
+
+  Word Image(std::size_t p) const { return images_[p]; }
+  Elem GroupMin(std::size_t p) const { return mins_[p]; }
+  Elem GroupMax(std::size_t p) const { return maxs_[p]; }
+
+  /// Half-open element-position range of group p.
+  std::pair<std::size_t, std::size_t> GroupRange(std::size_t p) const {
+    std::size_t lo = p * group_size_;
+    std::size_t hi = lo + group_size_;
+    if (hi > elems_.size()) hi = elems_.size();
+    return {lo, hi};
+  }
+
+  std::span<const Elem> elems() const { return elems_; }
+  std::span<const std::uint8_t> hvals() const { return hvals_; }
+
+ private:
+  std::size_t group_size_;
+  std::vector<Elem> elems_;          // grouped, (h, x)-ordered within groups
+  std::vector<std::uint8_t> hvals_;  // h(x) per stored element
+  std::vector<Word> images_;         // h(L^p) per group
+  std::vector<Elem> mins_;           // inf(L^p)
+  std::vector<Elem> maxs_;           // sup(L^p)
+};
+
+class IntGroupIntersection : public IntersectionAlgorithm {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x082efa98ec4e6c89ULL;
+    /// Elements per group; the paper's choice is sqrt(w) = 8 (Theorem 3.3
+    /// and A.1.1 analyse the trade-off).
+    std::size_t group_size = kSqrtWordBits;
+  };
+
+  IntGroupIntersection() : IntGroupIntersection(Options()) {}
+  explicit IntGroupIntersection(const Options& options);
+
+  std::string_view name() const override { return "IntGroup"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+  void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
+                          ElemList* out) const override;
+
+  std::size_t max_query_sets() const override { return 2; }
+
+ private:
+  Options options_;
+  WordHash h_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_INT_GROUP_H_

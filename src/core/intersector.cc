@@ -1,0 +1,158 @@
+#include "core/intersector.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "baseline/adaptive.h"
+#include "baseline/baeza_yates.h"
+#include "baseline/bpp.h"
+#include "baseline/compressed_baselines.h"
+#include "baseline/hash_intersect.h"
+#include "baseline/lookup.h"
+#include "baseline/merge.h"
+#include "baseline/skip_list_intersect.h"
+#include "baseline/small_adaptive.h"
+#include "baseline/svs.h"
+#include "core/compressed_scan.h"
+#include "core/int_group.h"
+#include "core/ran_group.h"
+
+namespace fsi {
+
+HybridIntersection::HybridIntersection(const Options& options)
+    : options_(options), scan_(options.scan) {}
+
+std::unique_ptr<PreprocessedSet> HybridIntersection::Preprocess(
+    std::span<const Elem> set) const {
+  return scan_.Preprocess(set);
+}
+
+void HybridIntersection::Intersect(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  IntersectUnordered(sets, out);
+  std::sort(out->begin(), out->end());
+}
+
+void HybridIntersection::IntersectUnordered(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  std::size_t k = sets.size();
+  if (k < 2) {
+    scan_.IntersectUnordered(sets, out);
+    return;
+  }
+  std::size_t min_n = SIZE_MAX;
+  std::size_t max_n = 0;
+  for (const PreprocessedSet* s : sets) {
+    min_n = std::min(min_n, s->size());
+    max_n = std::max(max_n, s->size());
+  }
+  if (min_n == 0) return;
+  double ratio = static_cast<double>(max_n) / static_cast<double>(min_n);
+  if (ratio < options_.skew_threshold) {
+    scan_.IntersectUnordered(sets, out);
+    return;
+  }
+  // HashBin path on the shared structure: ScanSet's g-value array is
+  // globally ascending, which is all HashBin needs.
+  thread_local std::vector<const ScanSet*> sorted;
+  sorted.clear();
+  sorted.reserve(k);
+  for (const PreprocessedSet* s : sets) sorted.push_back(&As<ScanSet>(*s));
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const ScanSet* a, const ScanSet* b) { return a->size() < b->size(); });
+  thread_local std::vector<std::span<const std::uint32_t>> lists;
+  lists.clear();
+  lists.reserve(k);
+  for (const ScanSet* s : sorted) lists.push_back(s->gvals());
+  thread_local std::vector<std::uint32_t> result_gvals;
+  result_gvals.clear();
+  HashBinIntersectGvals(lists, scan_.permutation().domain_bits(),
+                        &result_gvals);
+  out->reserve(result_gvals.size());
+  for (std::uint32_t gv : result_gvals) {
+    out->push_back(static_cast<Elem>(scan_.permutation().Invert(gv)));
+  }
+}
+
+std::unique_ptr<IntersectionAlgorithm> CreateAlgorithm(std::string_view name,
+                                                       std::uint64_t seed) {
+  if (name == "Merge") return std::make_unique<MergeIntersection>();
+  if (name == "SkipList") return std::make_unique<SkipListIntersection>(seed);
+  if (name == "Hash") return std::make_unique<HashIntersection>(seed);
+  if (name == "BPP") return std::make_unique<BppIntersection>(seed);
+  if (name == "Lookup") return std::make_unique<LookupIntersection>();
+  if (name == "SvS") return std::make_unique<SvsIntersection>();
+  if (name == "Adaptive") return std::make_unique<AdaptiveIntersection>();
+  if (name == "BaezaYates") {
+    return std::make_unique<BaezaYatesIntersection>();
+  }
+  if (name == "SmallAdaptive") {
+    return std::make_unique<SmallAdaptiveIntersection>();
+  }
+  if (name == "IntGroup") {
+    IntGroupIntersection::Options o;
+    o.seed = seed;
+    return std::make_unique<IntGroupIntersection>(o);
+  }
+  if (name == "RanGroup") {
+    RanGroupIntersection::Options o;
+    o.seed = seed;
+    return std::make_unique<RanGroupIntersection>(o);
+  }
+  if (name == "RanGroupScan" || name == "RanGroupScan2") {
+    RanGroupScanIntersection::Options o;
+    o.seed = seed;
+    o.m = (name == "RanGroupScan2") ? 2 : 4;
+    return std::make_unique<RanGroupScanIntersection>(o);
+  }
+  if (name == "HashBin") {
+    HashBinIntersection::Options o;
+    o.seed = seed;
+    return std::make_unique<HashBinIntersection>(o);
+  }
+  if (name == "Hybrid") {
+    HybridIntersection::Options o;
+    o.scan.seed = seed;
+    return std::make_unique<HybridIntersection>(o);
+  }
+  if (name == "Merge_Gamma") {
+    return std::make_unique<CompressedMergeIntersection>(EliasCodec::kGamma);
+  }
+  if (name == "Merge_Delta") {
+    return std::make_unique<CompressedMergeIntersection>(EliasCodec::kDelta);
+  }
+  if (name == "Lookup_Gamma") {
+    return std::make_unique<CompressedLookupIntersection>(EliasCodec::kGamma);
+  }
+  if (name == "Lookup_Delta") {
+    return std::make_unique<CompressedLookupIntersection>(EliasCodec::kDelta);
+  }
+  if (name == "RanGroupScan_Lowbits" || name == "RanGroupScan_Gamma" ||
+      name == "RanGroupScan_Delta") {
+    CompressedScanIntersection::Options o;
+    o.seed = seed;
+    o.codec = name == "RanGroupScan_Lowbits" ? ScanCodec::kLowbits
+              : name == "RanGroupScan_Gamma" ? ScanCodec::kGamma
+                                             : ScanCodec::kDelta;
+    return std::make_unique<CompressedScanIntersection>(o);
+  }
+  throw std::invalid_argument("CreateAlgorithm: unknown algorithm '" +
+                              std::string(name) + "'");
+}
+
+std::vector<std::string_view> UncompressedAlgorithmNames() {
+  return {"Merge",      "SkipList",   "Hash",         "BPP",
+          "Lookup",     "SvS",        "Adaptive",     "BaezaYates",
+          "SmallAdaptive", "IntGroup", "RanGroup",    "RanGroupScan",
+          "HashBin",    "Hybrid"};
+}
+
+std::vector<std::string_view> CompressedAlgorithmNames() {
+  return {"Merge_Gamma",        "Merge_Delta",        "Lookup_Gamma",
+          "Lookup_Delta",       "RanGroupScan_Lowbits", "RanGroupScan_Gamma",
+          "RanGroupScan_Delta"};
+}
+
+}  // namespace fsi

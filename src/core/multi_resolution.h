@@ -1,0 +1,132 @@
+// The multi-resolution partition structure of Section 3.2.1 (Figure 2).
+//
+// A set L_i is ordered by a random permutation g; the resolution-t partition
+// groups elements by the t most significant bits of g(x), so every group
+// L^z_i is a contiguous interval of the g-ordered array.  For each
+// resolution and group the structure stores:
+//   * the interval boundaries  left(L^z_i) / right(L^z_i),
+//   * the single-word image    h(L^z_i)  under the word hash h,
+//   * first(y, L^z_i): the position of the first element of the group with
+//     h-value y, packed in O(log |L^z_i|) bits per entry;
+// plus one global next(x) array linking each position to the next position
+// (in g-order) with the same h-value.  Following first → next → ... until
+// the right boundary enumerates the inverted mapping h^{-1}(y, L^z_i) in
+// g-order — the ordered access IntersectSmall's linear merge requires.
+//
+// Space: sum over t of 2^t group images/boundaries is O(n) words, and the
+// packed first tables take sum_t 2^t * w * O(log(n/2^t)/w) = O(n) words
+// (Theorem 3.8 / A.4).  Build time is O(n log n) — one O(n) pass per
+// resolution after an initial sort.
+
+#ifndef FSI_CORE_MULTI_RESOLUTION_H_
+#define FSI_CORE_MULTI_RESOLUTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "hash/feistel.h"
+#include "hash/universal_hash.h"
+#include "util/bits.h"
+#include "util/packed_array.h"
+
+namespace fsi {
+
+/// Position sentinel: "no such element".
+inline constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+/// The preprocessed form shared by RanGroup (full structure) and, in its
+/// g-ordered-array part, by HashBin.
+class MultiResolutionSet : public PreprocessedSet {
+ public:
+  /// Builds the structure.  `g` supplies the permutation order, `h` the
+  /// word images.  `set` must be sorted and duplicate-free, with every
+  /// element below 2^g.domain_bits().
+  ///
+  /// Note on hashing: the paper applies h to the original element x; we
+  /// apply it to g(x).  Since g is a bijection, h∘g is drawn from an equally
+  /// 2-universal family, and using g(x) lets the structure store only the
+  /// g-ordered values (originals are recovered via g^{-1}).
+  /// When `single_resolution` is true, only the default resolution
+  /// t_i = ceil(log2(n_i / sqrt(w))) is materialized — sufficient for
+  /// Algorithm 4 ("when the group size t_i depends only on n_i,
+  /// single-resolution in pre-processing suffices", end of Section 3.2.1)
+  /// and much smaller; the full multi-resolution build is required for the
+  /// query-size-dependent choices of Theorems 3.4/3.5.
+  MultiResolutionSet(std::span<const Elem> set, const FeistelPermutation& g,
+                     const WordHash& h, bool single_resolution = false);
+
+  /// Whether resolution t was materialized.
+  bool HasResolution(int t) const {
+    return t >= 0 && t <= max_resolution() &&
+           !resolutions_[static_cast<std::size_t>(t)].group_start.empty();
+  }
+
+  std::size_t size() const override { return gvals_.size(); }
+  std::size_t SizeInWords() const override;
+
+  /// Number of resolutions built; valid t is [0, max_resolution()].
+  int max_resolution() const {
+    return static_cast<int>(resolutions_.size()) - 1;
+  }
+
+  /// g-ordered values; ascending.
+  std::span<const std::uint32_t> gvals() const { return gvals_; }
+
+  /// h-value of the element at position `pos`.
+  int hval(std::uint32_t pos) const { return hvals_[pos]; }
+
+  /// Next position after `pos` with the same h-value, or kNoPos.
+  std::uint32_t NextPos(std::uint32_t pos) const { return next_[pos]; }
+
+  /// Half-open position interval [left, right) of group z at resolution t.
+  std::pair<std::uint32_t, std::uint32_t> GroupRange(int t,
+                                                     std::uint64_t z) const {
+    const Resolution& res = resolutions_[static_cast<std::size_t>(t)];
+    return {res.group_start[z], res.group_start[z + 1]};
+  }
+
+  /// Word image h(L^z) of group z at resolution t.
+  Word Image(int t, std::uint64_t z) const {
+    return resolutions_[static_cast<std::size_t>(t)].images[z];
+  }
+
+  /// Absolute position of the first element of group z (resolution t) with
+  /// h-value y, or kNoPos if the group has none.
+  std::uint32_t FirstPos(int t, std::uint64_t z, int y) const {
+    const Resolution& res = resolutions_[static_cast<std::size_t>(t)];
+    std::uint64_t off = res.first.Get(z * kWordBits + static_cast<std::size_t>(y));
+    if (off == res.first.max_value()) return kNoPos;
+    return res.group_start[z] + static_cast<std::uint32_t>(off);
+  }
+
+  /// The t for which groups have ~sqrt(w) expected elements — the paper's
+  /// default resolution choice t_i = ceil(log2(n_i / sqrt(w))), clamped to
+  /// the available range (Algorithm 4 / Theorem 3.7).
+  int DefaultResolution() const;
+
+  /// Clamps an arbitrary requested resolution into the valid range.
+  int ClampResolution(int t) const {
+    if (t < 0) return 0;
+    if (t > max_resolution()) return max_resolution();
+    return t;
+  }
+
+ private:
+  struct Resolution {
+    std::vector<std::uint32_t> group_start;  // 2^t + 1 offsets
+    std::vector<Word> images;                // 2^t word images
+    PackedArray first;                       // 2^t * w packed offsets
+  };
+
+  int domain_bits_;
+  std::vector<std::uint32_t> gvals_;  // ascending g-values
+  std::vector<std::uint8_t> hvals_;   // h-value per position
+  std::vector<std::uint32_t> next_;   // same-h successor per position
+  std::vector<Resolution> resolutions_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_MULTI_RESOLUTION_H_

@@ -1,0 +1,73 @@
+// RanGroup: intersection via randomized partitions (Section 3.2,
+// Algorithms 3 & 4) on top of the multi-resolution structure (Section 3.2.1).
+//
+// Pre-processing partitions each set L_i by the t_i most significant bits of
+// a shared random permutation g; each group L^z_i carries a single-word hash
+// image h(L^z_i) and inverted mappings (first/next chains).  Online, for
+// each finest group id z_k, the t_i-prefixes z_i select one group per set;
+// IntersectSmall (Algorithm 2, extended to k sets) first ANDs the k word
+// images and only touches elements whose h-value survives — in expectation
+// O(1) spurious element pairs per group combination (Theorems 3.5-3.7:
+// O(n/sqrt(w) + kr) total for k sets).
+//
+// Two refinements from the paper's appendix are implemented:
+//   * partial ANDs of images are memoized across group ids sharing prefixes
+//     (A.3(a)), so image words are fetched O(sum_i 2^t_i) times in total;
+//   * a zero partial AND at level i skips *all* z_k sharing that z_i prefix.
+
+#ifndef FSI_CORE_RAN_GROUP_H_
+#define FSI_CORE_RAN_GROUP_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/algorithm.h"
+#include "core/multi_resolution.h"
+#include "hash/feistel.h"
+#include "hash/universal_hash.h"
+
+namespace fsi {
+
+class RanGroupIntersection : public IntersectionAlgorithm {
+ public:
+  struct Options {
+    /// Seed for the shared permutation g and word hash h.
+    std::uint64_t seed = 0xa4093822299f31d0ULL;
+    /// Even number of bits covering the element universe.
+    int universe_bits = 32;
+    /// For two-set queries, use the balanced resolution of Theorem 3.5
+    /// (t1 = t2 = ceil(log sqrt(n1*n2/w)), expected O(sqrt(n1 n2 / w) + r))
+    /// instead of the size-dependent resolutions of Theorem 3.6.
+    bool two_set_optimal = true;
+    /// Materialize only the default resolution per set (end of
+    /// Section 3.2.1): smaller structures, but two_set_optimal is then
+    /// unavailable and is ignored.
+    bool single_resolution = false;
+  };
+
+  RanGroupIntersection() : RanGroupIntersection(Options()) {}
+  explicit RanGroupIntersection(const Options& options);
+
+  std::string_view name() const override { return "RanGroup"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+  void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
+                          ElemList* out) const override;
+
+  const FeistelPermutation& permutation() const { return g_; }
+
+ private:
+  Options options_;
+  FeistelPermutation g_;
+  WordHash h_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_RAN_GROUP_H_

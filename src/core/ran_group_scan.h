@@ -1,0 +1,123 @@
+// RanGroupScan: the "simple" randomized-partition algorithm (Section 3.3,
+// Algorithm 5) — the paper's best performer in practice.
+//
+// Pre-processing (Section 3.3.1, Figure 3): each set is partitioned once by
+// g_{t_i} with t_i = ceil(log2(n_i / sqrt(w))); per group we keep m word
+// images h_1(L^z), ..., h_m(L^z) and the group's elements.  No inverted
+// mappings — "trading off a complex O(1)-access for a simple scan over a
+// short block of data".
+//
+// Online (Algorithm 5): for each finest group id z_k, AND the m image words
+// across the k sets; if any of the m ANDs is zero the combination provably
+// has an empty intersection and is skipped (successful filtering,
+// Lemmas A.1/A.3); otherwise the k groups are intersected by a plain linear
+// merge.  Partial ANDs are memoized across shared prefixes (A.5.3), giving
+// the O(mn/sqrt(w)) filtering term of Theorem 3.9.
+//
+// Implementation notes:
+//  * We store g-values (ascending) rather than raw elements; g is shared
+//    across sets and bijective, so merging on g-values is exact and the
+//    original ids are recovered via g^{-1} only for the r results.
+//  * The paper's Figure-3 block layout is kept as structure-of-arrays
+//    (group offsets / image words / value array) — same content, same
+//    sequential access pattern, friendlier typed accessors.
+
+#ifndef FSI_CORE_RAN_GROUP_SCAN_H_
+#define FSI_CORE_RAN_GROUP_SCAN_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "hash/feistel.h"
+#include "hash/universal_hash.h"
+#include "util/bits.h"
+
+namespace fsi {
+
+/// The preprocessed form of one set for RanGroupScan.
+class ScanSet : public PreprocessedSet {
+ public:
+  /// Builds the structure; t is the resolution (number of prefix bits).
+  ScanSet(std::span<const Elem> set, const FeistelPermutation& g,
+          const WordHashFamily& hashes, int t);
+
+  std::size_t size() const override { return gvals_.size(); }
+  std::size_t SizeInWords() const override;
+
+  int t() const { return t_; }
+  int m() const { return m_; }
+  std::uint64_t num_groups() const { return std::uint64_t{1} << t_; }
+
+  /// Half-open position range of group z.
+  std::pair<std::uint32_t, std::uint32_t> GroupRange(std::uint64_t z) const {
+    return {group_start_[z], group_start_[z + 1]};
+  }
+
+  /// j-th hash image word of group z (j in [0, m)).
+  Word Image(std::uint64_t z, int j) const {
+    return images_[z * static_cast<std::uint64_t>(m_) +
+                   static_cast<std::uint64_t>(j)];
+  }
+
+  /// Ascending g-values of all elements.
+  std::span<const std::uint32_t> gvals() const { return gvals_; }
+
+ private:
+  friend class StructureSerializer;  // binary save/load (core/serialization.h)
+  ScanSet() : t_(0), m_(0) {}
+
+  int t_;
+  int m_;
+  std::vector<std::uint32_t> group_start_;  // 2^t + 1
+  std::vector<Word> images_;                // 2^t * m, group-major
+  std::vector<std::uint32_t> gvals_;        // ascending
+};
+
+class RanGroupScanIntersection : public IntersectionAlgorithm {
+ public:
+  struct Options {
+    /// Seed for the shared permutation g and hash family h_1..h_m.
+    std::uint64_t seed = 0xbe5466cf34e90c6cULL;
+    /// Even number of bits covering the element universe.
+    int universe_bits = 32;
+    /// Number of hash images per group; the paper uses m = 4 by default and
+    /// m = 2 for the multi-keyword and compressed experiments.
+    int m = 4;
+    /// Disable the A.5.3 optimizations (prefix-AND memoization, prefix
+    /// skipping, and the aligned fast path) — ablation only.  Every z_k then
+    /// recomputes all k*m partial ANDs and advances one step at a time.
+    bool memoize = true;
+  };
+
+  RanGroupScanIntersection() : RanGroupScanIntersection(Options()) {}
+  explicit RanGroupScanIntersection(const Options& options);
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+  void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
+                          ElemList* out) const override;
+
+  const FeistelPermutation& permutation() const { return g_; }
+  const WordHashFamily& hashes() const { return hashes_; }
+  int m() const { return options_.m; }
+
+ private:
+  Options options_;
+  std::string name_;
+  FeistelPermutation g_;
+  WordHashFamily hashes_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_RAN_GROUP_SCAN_H_

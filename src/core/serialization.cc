@@ -1,0 +1,133 @@
+#include "core/serialization.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fsi {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4653495343414E31ULL;  // "FSISCAN1"
+constexpr std::uint32_t kVersion = 1;
+
+/// Incremental FNV-1a over raw bytes.
+class Fnv1a {
+ public:
+  void Update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+void WriteRaw(std::ostream& out, const void* data, std::size_t bytes,
+              Fnv1a* crc) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("StructureSerializer: write failed");
+  if (crc != nullptr) crc->Update(data, bytes);
+}
+
+void ReadRaw(std::istream& in, void* data, std::size_t bytes, Fnv1a* crc) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in) throw std::runtime_error("StructureSerializer: truncated file");
+  if (crc != nullptr) crc->Update(data, bytes);
+}
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value, Fnv1a* crc) {
+  WriteRaw(out, &value, sizeof(T), crc);
+}
+
+template <typename T>
+T ReadScalar(std::istream& in, Fnv1a* crc) {
+  T value;
+  ReadRaw(in, &value, sizeof(T), crc);
+  return value;
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v, Fnv1a* crc) {
+  if (!v.empty()) WriteRaw(out, v.data(), v.size() * sizeof(T), crc);
+}
+
+template <typename T>
+void ReadVector(std::istream& in, std::vector<T>* v, std::size_t count,
+                Fnv1a* crc) {
+  v->resize(count);
+  if (count > 0) ReadRaw(in, v->data(), count * sizeof(T), crc);
+}
+
+}  // namespace
+
+void StructureSerializer::Save(const std::vector<const ScanSet*>& sets,
+                               std::ostream& out) {
+  WriteScalar<std::uint64_t>(out, kMagic, nullptr);
+  WriteScalar<std::uint32_t>(out, kVersion, nullptr);
+  WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(sets.size()),
+                             nullptr);
+  for (const ScanSet* set : sets) {
+    Fnv1a crc;
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(set->t_), &crc);
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(set->m_), &crc);
+    WriteScalar<std::uint64_t>(out, set->gvals_.size(), &crc);
+    WriteVector(out, set->group_start_, &crc);
+    WriteVector(out, set->images_, &crc);
+    WriteVector(out, set->gvals_, &crc);
+    WriteScalar<std::uint64_t>(out, crc.value(), nullptr);
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("StructureSerializer: flush failed");
+}
+
+std::vector<std::unique_ptr<ScanSet>> StructureSerializer::Load(
+    std::istream& in, int expected_m) {
+  if (ReadScalar<std::uint64_t>(in, nullptr) != kMagic) {
+    throw std::runtime_error("StructureSerializer: bad magic");
+  }
+  if (ReadScalar<std::uint32_t>(in, nullptr) != kVersion) {
+    throw std::runtime_error("StructureSerializer: unsupported version");
+  }
+  auto count = ReadScalar<std::uint32_t>(in, nullptr);
+  std::vector<std::unique_ptr<ScanSet>> sets;
+  sets.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    Fnv1a crc;
+    auto t = static_cast<int>(ReadScalar<std::uint32_t>(in, &crc));
+    auto m = static_cast<int>(ReadScalar<std::uint32_t>(in, &crc));
+    auto n = ReadScalar<std::uint64_t>(in, &crc);
+    if (t < 0 || t > 32 || m < 1 || m > 64) {
+      throw std::runtime_error("StructureSerializer: implausible header");
+    }
+    if (m != expected_m) {
+      throw std::runtime_error(
+          "StructureSerializer: structure built with a different m");
+    }
+    auto set = std::unique_ptr<ScanSet>(new ScanSet());
+    set->t_ = t;
+    set->m_ = m;
+    std::size_t groups = std::size_t{1} << t;
+    ReadVector(in, &set->group_start_, groups + 1, &crc);
+    ReadVector(in, &set->images_, groups * static_cast<std::size_t>(m), &crc);
+    ReadVector(in, &set->gvals_, n, &crc);
+    auto stored_crc = ReadScalar<std::uint64_t>(in, nullptr);
+    if (stored_crc != crc.value()) {
+      throw std::runtime_error("StructureSerializer: checksum mismatch");
+    }
+    // Structural sanity: offsets monotone and consistent with n.
+    if (set->group_start_.front() != 0 || set->group_start_.back() != n) {
+      throw std::runtime_error("StructureSerializer: corrupt group offsets");
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace fsi

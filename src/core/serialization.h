@@ -1,0 +1,51 @@
+// Binary serialization of pre-processed structures.
+//
+// The paper's deployment story is an in-memory search index: posting lists
+// are pre-processed once (offline, at index build time) and queried many
+// times.  For that to work across process restarts the structures must be
+// persistable — this module provides a versioned little-endian binary
+// format for the RanGroupScan structure (the recommended default) and a
+// whole-index container.
+//
+// Format (all integers little-endian):
+//   file   := magic:u64 version:u32 count:u32 (set)*
+//   set    := t:u32 m:u32 n:u64
+//             group_start: (2^t + 1) * u32
+//             images:      (2^t * m) * u64
+//             gvals:       n * u32
+//             crc:u64                          (FNV-1a over the set payload)
+//
+// The serialized structure embeds no hash-function state: a loaded set is
+// only valid for the SAME RanGroupScanIntersection configuration (seed,
+// universe_bits, m) that produced it.  Callers persist those options next
+// to the file; Save/Load verify m and reject mismatches, and the CRC
+// rejects torn or corrupted files.
+
+#ifndef FSI_CORE_SERIALIZATION_H_
+#define FSI_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/ran_group_scan.h"
+
+namespace fsi {
+
+class StructureSerializer {
+ public:
+  /// Serializes `sets` (all produced by one RanGroupScanIntersection).
+  /// Throws std::runtime_error on stream failure.
+  static void Save(const std::vector<const ScanSet*>& sets,
+                   std::ostream& out);
+
+  /// Loads a file produced by Save.  `expected_m` must equal the m of the
+  /// algorithm instance that will query the sets.  Throws
+  /// std::runtime_error on format/CRC/m mismatch.
+  static std::vector<std::unique_ptr<ScanSet>> Load(std::istream& in,
+                                                    int expected_m);
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_SERIALIZATION_H_

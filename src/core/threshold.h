@@ -1,0 +1,49 @@
+// t-threshold queries: elements contained in at least t of k sets.
+//
+// The t-threshold problem generalizes intersection (t = k) and union
+// (t = 1); it is the other problem studied by the adaptive-intersection
+// line of work the paper builds on (Barbay & Kenyon [3], cited in §2), and
+// the natural relaxation used by search engines for "match most terms"
+// semantics.
+//
+// Implementation: all structures share the permutation g, so the k
+// g-ordered value arrays can be count-merged in one pass; a tournament
+// loser-tree keeps the merge at O(n log k).  Two prunings connect this to
+// the paper's machinery:
+//   * t == k delegates to the wrapped RanGroupScan (full intersection,
+//     image filtering applies);
+//   * for t < k, a group-level census skips every finest-resolution window
+//     where fewer than t sets have any element at all (group lengths are
+//     free to read; no hashing needed for this weaker test).
+
+#ifndef FSI_CORE_THRESHOLD_H_
+#define FSI_CORE_THRESHOLD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ran_group_scan.h"
+
+namespace fsi {
+
+/// Threshold queries over RanGroupScan structures.
+class ThresholdIntersection {
+ public:
+  /// Keeps a non-owning pointer; `scan` must outlive this object and must
+  /// be the instance whose Preprocess produced the queried ScanSets.
+  explicit ThresholdIntersection(const RanGroupScanIntersection* scan)
+      : scan_(scan) {}
+
+  /// Elements present in at least `threshold` of `sets` (1 <= threshold
+  /// <= sets.size()), sorted ascending.
+  ElemList AtLeast(std::span<const PreprocessedSet* const> sets,
+                   std::size_t threshold) const;
+
+ private:
+  const RanGroupScanIntersection* scan_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_THRESHOLD_H_

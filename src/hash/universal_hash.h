@@ -1,0 +1,97 @@
+// 2-universal hash functions.
+//
+// The paper needs two kinds of hash functions (Section 3):
+//   h : Σ → [w]        — maps elements into bit positions of a machine word
+//                        (the "word representation" of a small group's image);
+//   h_1..h_m : Σ → [w] — m independent such functions for Algorithm 5's
+//                        filtering test.
+//
+// We implement the classic multiply-shift family (Dietzfelbinger et al.):
+//   h_{a,b}(x) = (a*x + b) >> (64 - d)
+// with a odd, which is 2-universal for d-bit outputs.  All proofs in the
+// paper's appendix (e.g. Eq. (4): Pr[h(x1) = h(x2)] <= 1/w) only require
+// 2-universality, which this family provides.
+
+#ifndef FSI_HASH_UNIVERSAL_HASH_H_
+#define FSI_HASH_UNIVERSAL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace fsi {
+
+/// One member of the multiply-shift 2-universal family with a d-bit range,
+/// i.e. h : uint64 → [0, 2^d).
+class UniversalHash {
+ public:
+  /// Constructs a hash function with `out_bits`-bit output, drawn from the
+  /// family using `seed`.
+  UniversalHash(int out_bits, std::uint64_t seed)
+      : shift_(64 - out_bits),
+        a_(SplitMix64(seed).Next() | 1),  // multiplier must be odd
+        b_(SplitMix64(seed ^ 0x5851F42D4C957F2DULL).Next()) {}
+
+  /// Number of output bits d.
+  int out_bits() const { return 64 - shift_; }
+
+  /// Evaluates the hash; result is in [0, 2^d).
+  std::uint64_t operator()(std::uint64_t x) const {
+    return (a_ * x + b_) >> shift_;
+  }
+
+ private:
+  int shift_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// h : Σ → [w]: the word-position hash used to build single-word images of
+/// small groups.  Output is a bit index in [0, 64).
+class WordHash {
+ public:
+  explicit WordHash(std::uint64_t seed) : hash_(kLogWordBits, seed) {}
+
+  /// Bit position for element x.
+  int operator()(std::uint64_t x) const { return static_cast<int>(hash_(x)); }
+
+  /// Word representation (single set bit) of h(x).
+  Word Image(std::uint64_t x) const { return WordBit((*this)(x)); }
+
+ private:
+  UniversalHash hash_;
+};
+
+/// A family h_1, ..., h_m of independent WordHash functions (Algorithm 5
+/// uses m of them to boost the empty-group filtering probability,
+/// Lemma A.1/A.3).
+class WordHashFamily {
+ public:
+  WordHashFamily(int m, std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    hashes_.reserve(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) hashes_.emplace_back(sm.Next());
+  }
+
+  int size() const { return static_cast<int>(hashes_.size()); }
+
+  const WordHash& operator[](int j) const {
+    return hashes_[static_cast<std::size_t>(j)];
+  }
+
+  /// The m-word image vector [h_1(x), ..., h_m(x)] OR-ed into `images`.
+  void AccumulateImages(std::uint64_t x, Word* images) const {
+    for (std::size_t j = 0; j < hashes_.size(); ++j) {
+      images[j] |= hashes_[j].Image(x);
+    }
+  }
+
+ private:
+  std::vector<WordHash> hashes_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_HASH_UNIVERSAL_HASH_H_

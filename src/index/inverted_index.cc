@@ -1,0 +1,62 @@
+#include "index/inverted_index.h"
+
+#include <stdexcept>
+
+namespace fsi {
+
+void InvertedIndex::AddDocument(Elem doc_id,
+                                std::span<const std::string> terms) {
+  if (finalized_) {
+    throw std::logic_error("InvertedIndex: AddDocument after Finalize");
+  }
+  if (has_docs_ && doc_id <= last_doc_id_) {
+    throw std::invalid_argument(
+        "InvertedIndex: doc ids must be strictly increasing");
+  }
+  last_doc_id_ = doc_id;
+  has_docs_ = true;
+  ++num_documents_;
+  for (const std::string& term : terms) {
+    auto [it, inserted] = dictionary_.try_emplace(term, postings_.size());
+    if (inserted) postings_.emplace_back();
+    ElemList& list = postings_[it->second];
+    if (list.empty() || list.back() != doc_id) list.push_back(doc_id);
+  }
+}
+
+void InvertedIndex::Finalize() {
+  if (finalized_) throw std::logic_error("InvertedIndex: double Finalize");
+  structures_.reserve(postings_.size());
+  for (const ElemList& list : postings_) {
+    structures_.push_back(algorithm_->Preprocess(list));
+  }
+  finalized_ = true;
+}
+
+ElemList InvertedIndex::Query(std::span<const std::string> terms) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  ElemList out;
+  if (terms.empty()) return out;
+  std::vector<const PreprocessedSet*> sets;
+  sets.reserve(terms.size());
+  for (const std::string& term : terms) {
+    auto it = dictionary_.find(term);
+    if (it == dictionary_.end()) return out;  // unknown term: empty result
+    sets.push_back(structures_[it->second].get());
+  }
+  algorithm_->Intersect(sets, &out);
+  return out;
+}
+
+std::size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  auto it = dictionary_.find(std::string(term));
+  return it == dictionary_.end() ? 0 : postings_[it->second].size();
+}
+
+std::size_t InvertedIndex::SizeInWords() const {
+  std::size_t words = 0;
+  for (const auto& s : structures_) words += s->SizeInWords();
+  return words;
+}
+
+}  // namespace fsi

@@ -1,0 +1,68 @@
+// A minimal in-memory inverted index (Witten, Moffat & Bell [23] style).
+//
+// This is the substrate the paper's motivating applications sit on: "for
+// each term t, the inverted index stores a sorted list of all document IDs
+// containing t".  The examples (mini search engine, faceted product
+// filtering) build an index and evaluate conjunctive queries through any
+// IntersectionAlgorithm — demonstrating the library's intended integration
+// point: posting lists are pre-processed once at index build time, queries
+// intersect the pre-processed structures.
+
+#ifndef FSI_INDEX_INVERTED_INDEX_H_
+#define FSI_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+/// Inverted index over string terms with pluggable intersection algorithms.
+class InvertedIndex {
+ public:
+  /// `algorithm` pre-processes every posting list at Finalize() time and
+  /// answers the conjunctive queries; the index keeps a non-owning pointer,
+  /// so the algorithm must outlive the index.
+  explicit InvertedIndex(const IntersectionAlgorithm* algorithm)
+      : algorithm_(algorithm) {}
+
+  /// Adds a document; doc ids must be strictly increasing across calls.
+  void AddDocument(Elem doc_id, std::span<const std::string> terms);
+
+  /// Builds the per-term structures.  Must be called once, after all
+  /// AddDocument calls and before any query.
+  void Finalize();
+
+  /// Conjunctive query: documents containing *all* terms.  Unknown terms
+  /// yield an empty result.
+  ElemList Query(std::span<const std::string> terms) const;
+
+  /// Document frequency of a term (0 if unknown).
+  std::size_t DocumentFrequency(std::string_view term) const;
+
+  std::size_t num_terms() const { return postings_.size(); }
+  std::size_t num_documents() const { return num_documents_; }
+
+  /// Total index footprint in 64-bit words (pre-processed structures).
+  std::size_t SizeInWords() const;
+
+ private:
+  const IntersectionAlgorithm* algorithm_;
+  std::unordered_map<std::string, std::size_t> dictionary_;
+  std::vector<ElemList> postings_;
+  std::vector<std::unique_ptr<PreprocessedSet>> structures_;
+  std::size_t num_documents_ = 0;
+  Elem last_doc_id_ = 0;
+  bool has_docs_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_INDEX_INVERTED_INDEX_H_

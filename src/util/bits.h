@@ -1,0 +1,90 @@
+// Bit-level primitives shared by every module.
+//
+// The paper's central device is the "word representation" of a set
+// A ⊆ [w] = {0, ..., w-1}: a single machine word whose y-th bit is 1 iff
+// y ∈ A (Section 3.1).  Intersection of two such sets is a bitwise AND, and
+// the elements of A are recovered with the lowest-1-bit loop of footnote 1.
+// This header implements those primitives plus the SWAR helpers used by the
+// BPP baseline.
+
+#ifndef FSI_UTIL_BITS_H_
+#define FSI_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace fsi {
+
+/// Machine word width in bits.  The paper calls this `w`; all analysis and
+/// all group-size constants (sqrt(w) = 8) assume 64-bit words.
+inline constexpr int kWordBits = 64;
+
+/// floor(sqrt(w)) — the fixed group width of Algorithm 1 and the expected
+/// group size of Algorithms 3-5.
+inline constexpr int kSqrtWordBits = 8;
+
+/// Number of bits needed to address a position inside a word (log2 w).
+inline constexpr int kLogWordBits = 6;
+
+/// Word representation of a set over universe [64].
+using Word = std::uint64_t;
+
+/// Returns a word with only bit `y` set (y in [0, 64)).
+constexpr Word WordBit(int y) { return Word{1} << y; }
+
+/// Isolates the lowest set bit of `v` (paper footnote 1:
+/// `((v - 1) XOR v) AND v`; equivalent to `v & -v`).
+constexpr Word LowestBit(Word v) { return v & (~v + 1); }
+
+/// Index of the lowest set bit.  Precondition: v != 0.
+constexpr int LowestBitIndex(Word v) { return std::countr_zero(v); }
+
+/// Number of set bits.
+constexpr int PopCount(Word v) { return std::popcount(v); }
+
+/// floor(log2(v)).  Precondition: v != 0.
+constexpr int FloorLog2(std::uint64_t v) {
+  return 63 - std::countl_zero(v);
+}
+
+/// ceil(log2(v)) for v >= 1 (CeilLog2(1) == 0).
+constexpr int CeilLog2(std::uint64_t v) {
+  return v <= 1 ? 0 : FloorLog2(v - 1) + 1;
+}
+
+/// Calls `fn(y)` for every set bit index y of `v`, lowest first — the
+/// element-retrieval loop from footnote 1 of the paper.
+template <typename Fn>
+constexpr void ForEachBit(Word v, Fn&& fn) {
+  while (v != 0) {
+    fn(LowestBitIndex(v));
+    v &= v - 1;  // clear lowest set bit
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR (SIMD-within-a-register) helpers for byte-packed signatures.
+// Used by the simplified BPP baseline: k 8-bit signatures are packed into a
+// word and a probe signature is matched against all of them with O(1) word
+// operations.
+// ---------------------------------------------------------------------------
+
+inline constexpr Word kSwarLow = 0x0101010101010101ULL;
+inline constexpr Word kSwarHigh = 0x8080808080808080ULL;
+
+/// Replicates byte `b` into all 8 lanes of a word.
+constexpr Word BroadcastByte(std::uint8_t b) { return kSwarLow * b; }
+
+/// True iff any byte lane of `v` is zero (classic haszero trick).
+constexpr bool HasZeroByte(Word v) {
+  return ((v - kSwarLow) & ~v & kSwarHigh) != 0;
+}
+
+/// True iff any byte lane of `packed` equals `b`.
+constexpr bool HasByte(Word packed, std::uint8_t b) {
+  return HasZeroByte(packed ^ BroadcastByte(b));
+}
+
+}  // namespace fsi
+
+#endif  // FSI_UTIL_BITS_H_

@@ -1,0 +1,81 @@
+// Fixed-width bit-packed array.
+//
+// The multi-resolution structure (Section 3.2.1 / Theorem 3.8) keeps the
+// first(y, L^z) pointers as offsets relative to left(L^z), stored in
+// O(log |L^z|) bits each — that is what makes the whole structure O(n)
+// words.  This utility provides exactly that: an array of `count` unsigned
+// fields of `field_bits` bits each, packed into 64-bit words.
+
+#ifndef FSI_UTIL_PACKED_ARRAY_H_
+#define FSI_UTIL_PACKED_ARRAY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsi {
+
+class PackedArray {
+ public:
+  PackedArray() = default;
+
+  /// Creates `count` zero-initialized fields of `field_bits` bits
+  /// (1 <= field_bits <= 57; fields never straddle more than two words at
+  /// that width, and we read/write via unaligned 64-bit windows).
+  PackedArray(std::size_t count, int field_bits)
+      : count_(count),
+        bits_(field_bits),
+        mask_((std::uint64_t{1} << field_bits) - 1),
+        words_((count * static_cast<std::size_t>(field_bits) + 63) / 64 + 1,
+               0) {
+    assert(field_bits >= 1 && field_bits <= 57);
+  }
+
+  std::size_t size() const { return count_; }
+  int field_bits() const { return bits_; }
+
+  /// Maximum representable field value (also used as the "absent" sentinel
+  /// by the multi-resolution structure).
+  std::uint64_t max_value() const { return mask_; }
+
+  std::uint64_t Get(std::size_t i) const {
+    assert(i < count_);
+    std::size_t bit = i * static_cast<std::size_t>(bits_);
+    std::size_t word = bit >> 6;
+    int shift = static_cast<int>(bit & 63);
+    std::uint64_t lo = words_[word] >> shift;
+    if (shift + bits_ > 64) {
+      lo |= words_[word + 1] << (64 - shift);
+    }
+    return lo & mask_;
+  }
+
+  void Set(std::size_t i, std::uint64_t value) {
+    assert(i < count_);
+    assert(value <= mask_);
+    std::size_t bit = i * static_cast<std::size_t>(bits_);
+    std::size_t word = bit >> 6;
+    int shift = static_cast<int>(bit & 63);
+    words_[word] = (words_[word] & ~(mask_ << shift)) | (value << shift);
+    if (shift + bits_ > 64) {
+      int spill = shift + bits_ - 64;
+      std::uint64_t hi_mask = (std::uint64_t{1} << spill) - 1;
+      words_[word + 1] =
+          (words_[word + 1] & ~hi_mask) | (value >> (64 - shift));
+    }
+  }
+
+  /// Heap footprint in 64-bit words.
+  std::size_t SizeInWords() const { return words_.size(); }
+
+ private:
+  std::size_t count_ = 0;
+  int bits_ = 1;
+  std::uint64_t mask_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_UTIL_PACKED_ARRAY_H_

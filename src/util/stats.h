@@ -1,0 +1,67 @@
+// Small statistics accumulators used by the benchmark harness to report the
+// mean / percentile rows the paper's figures and worst-case-latency table
+// are built from.
+
+#ifndef FSI_UTIL_STATS_H_
+#define FSI_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fsi {
+
+/// Accumulates samples and reports mean, min, max and percentiles.
+class SampleStats {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p in [0, 1]; nearest-rank percentile.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    double mean = Mean();
+    double acc = 0.0;
+    for (double v : samples_) acc += (v - mean) * (v - mean);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_UTIL_STATS_H_

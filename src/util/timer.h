@@ -1,0 +1,38 @@
+// Monotonic wall-clock timing for the benchmark harness and examples.
+
+#ifndef FSI_UTIL_TIMER_H_
+#define FSI_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fsi {
+
+/// A simple stopwatch over the steady (monotonic) clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or the last Reset().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_UTIL_TIMER_H_

@@ -1,0 +1,140 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "baseline/merge.h"
+
+namespace fsi {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: empty support");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += Weight(i);
+    cdf_[i] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+double ZipfDistribution::Weight(std::size_t i) const {
+  return std::pow(static_cast<double>(i + 1), -s_);
+}
+
+std::size_t ZipfDistribution::Sample(Xoshiro256& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+SyntheticCorpus::SyntheticCorpus(const Options& options)
+    : num_docs_(options.num_docs) {
+  Xoshiro256 rng(options.seed);
+  // Document popularity: doc j has weight (j+1)^-doc_zipf; the cumulative
+  // weight array drives inverse-CDF sampling.  (Using the id itself as the
+  // popularity rank keeps postings trivially sorted after sampling.)
+  std::vector<double> doc_cdf(num_docs_);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < num_docs_; ++j) {
+    acc += std::pow(static_cast<double>(j + 1), -options.doc_zipf);
+    doc_cdf[j] = acc;
+  }
+  for (double& c : doc_cdf) c /= acc;
+
+  auto max_df = static_cast<std::size_t>(
+      options.max_df_fraction * static_cast<double>(num_docs_));
+  postings_.resize(options.vocabulary);
+  std::unordered_set<Elem> seen;
+  for (std::size_t t = 0; t < options.vocabulary; ++t) {
+    double raw = static_cast<double>(max_df) *
+                 std::pow(static_cast<double>(t + 1), -options.term_zipf);
+    std::size_t df = std::clamp(static_cast<std::size_t>(raw),
+                                options.min_df, max_df);
+    seen.clear();
+    seen.reserve(df * 2);
+    while (seen.size() < df) {
+      double u = rng.NextDouble();
+      auto it = std::lower_bound(doc_cdf.begin(), doc_cdf.end(), u);
+      if (it == doc_cdf.end()) --it;
+      seen.insert(static_cast<Elem>(it - doc_cdf.begin()));
+    }
+    ElemList& list = postings_[t];
+    list.assign(seen.begin(), seen.end());
+    std::sort(list.begin(), list.end());
+  }
+}
+
+QueryWorkload::QueryWorkload(const SyntheticCorpus& corpus,
+                             const Options& options) {
+  Xoshiro256 rng(options.seed);
+  ZipfDistribution term_rank(corpus.num_terms(), options.query_zipf);
+  queries_.reserve(options.num_queries);
+  while (queries_.size() < options.num_queries) {
+    double u = rng.NextDouble();
+    std::size_t k = 2;
+    if (u < options.p2) {
+      k = 2;
+    } else if (u < options.p2 + options.p3) {
+      k = 3;
+    } else if (u < options.p2 + options.p3 + options.p4) {
+      k = 4;
+    } else {
+      k = 5;
+    }
+    Query q;
+    while (q.size() < k) {
+      std::size_t t = term_rank.Sample(rng);
+      if (std::find(q.begin(), q.end(), t) == q.end()) q.push_back(t);
+    }
+    queries_.push_back(std::move(q));
+  }
+}
+
+QueryWorkload::Stats QueryWorkload::ComputeStats(
+    const SyntheticCorpus& corpus) const {
+  Stats st;
+  std::size_t count[4] = {0, 0, 0, 0};  // queries of 2/3/4/5 keywords
+  double ratio12_sum = 0;
+  double ratio1k_sum = 0;
+  std::size_t ratio1k_count = 0;
+  double sel_sum = 0;
+  for (const Query& q : queries_) {
+    std::vector<std::size_t> sizes;
+    std::vector<std::span<const Elem>> lists;
+    for (std::size_t t : q) {
+      sizes.push_back(corpus.postings(t).size());
+    }
+    std::sort(sizes.begin(), sizes.end());
+    count[std::min<std::size_t>(q.size(), 5) - 2]++;
+    ratio12_sum += static_cast<double>(sizes[0]) /
+                   static_cast<double>(std::max<std::size_t>(sizes[1], 1));
+    if (q.size() >= 3) {
+      ratio1k_sum += static_cast<double>(sizes[0]) /
+                     static_cast<double>(std::max<std::size_t>(sizes.back(), 1));
+      ++ratio1k_count;
+    }
+    // Selectivity needs the true intersection.
+    std::vector<std::span<const Elem>> spans;
+    for (std::size_t t : q) spans.push_back(corpus.postings(t));
+    ElemList result;
+    MergeIntersectK(spans, &result);
+    sel_sum += static_cast<double>(result.size()) /
+               static_cast<double>(std::max<std::size_t>(sizes[0], 1));
+  }
+  auto n = static_cast<double>(queries_.size());
+  st.frac2 = static_cast<double>(count[0]) / n;
+  st.frac3 = static_cast<double>(count[1]) / n;
+  st.frac4 = static_cast<double>(count[2]) / n;
+  st.frac5 = static_cast<double>(count[3]) / n;
+  st.mean_ratio_12 = ratio12_sum / n;
+  st.mean_ratio_1k =
+      ratio1k_count == 0 ? 0 : ratio1k_sum / static_cast<double>(ratio1k_count);
+  st.mean_selectivity = sel_sum / n;
+  return st;
+}
+
+}  // namespace fsi

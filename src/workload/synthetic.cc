@@ -1,0 +1,90 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fsi {
+
+ElemList SampleSortedSet(std::size_t n, std::uint64_t universe,
+                         Xoshiro256& rng) {
+  if (n > universe) {
+    throw std::invalid_argument("SampleSortedSet: n exceeds universe");
+  }
+  ElemList out;
+  out.reserve(n);
+  if (universe > 0 && n >= universe / 4) {
+    // Dense case: selection sampling (Knuth 3.4.2 S) — one pass, exact.
+    std::uint64_t remaining_pool = universe;
+    std::size_t remaining_need = n;
+    for (std::uint64_t x = 0; x < universe && remaining_need > 0; ++x) {
+      // P(select x) = remaining_need / remaining_pool.
+      if (rng.Below(remaining_pool) < remaining_need) {
+        out.push_back(static_cast<Elem>(x));
+        --remaining_need;
+      }
+      --remaining_pool;
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling into a hash set, then sort.
+  std::unordered_set<Elem> seen;
+  seen.reserve(n * 2);
+  while (seen.size() < n) {
+    seen.insert(static_cast<Elem>(rng.Below(universe)));
+  }
+  out.assign(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElemList> GenerateIntersectingSets(
+    const std::vector<std::size_t>& sizes, std::size_t r,
+    std::uint64_t universe, Xoshiro256& rng) {
+  std::size_t k = sizes.size();
+  std::size_t total = 0;
+  for (std::size_t n : sizes) {
+    if (r > n) {
+      throw std::invalid_argument(
+          "GenerateIntersectingSets: r exceeds a set size");
+    }
+    total += n - r;
+  }
+  total += r;
+  if (total > universe) {
+    throw std::invalid_argument(
+        "GenerateIntersectingSets: universe too small for disjoint parts");
+  }
+  // One big distinct sample, then deal it out: first r elements are the
+  // shared core, the rest are private.  A random shuffle removes any
+  // correlation between value ranges and roles.
+  ElemList pool = SampleSortedSet(total, universe, rng);
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.Below(i)]);
+  }
+  std::vector<ElemList> sets(k);
+  std::size_t cursor = r;
+  for (std::size_t s = 0; s < k; ++s) {
+    ElemList& set = sets[s];
+    set.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(r));
+    set.insert(set.end(),
+               pool.begin() + static_cast<std::ptrdiff_t>(cursor),
+               pool.begin() + static_cast<std::ptrdiff_t>(cursor + sizes[s] - r));
+    cursor += sizes[s] - r;
+    std::sort(set.begin(), set.end());
+  }
+  return sets;
+}
+
+std::vector<ElemList> GenerateUniformSets(std::size_t k, std::size_t n,
+                                          std::uint64_t universe,
+                                          Xoshiro256& rng) {
+  std::vector<ElemList> sets;
+  sets.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    sets.push_back(SampleSortedSet(n, universe, rng));
+  }
+  return sets;
+}
+
+}  // namespace fsi

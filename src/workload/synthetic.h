@@ -1,0 +1,47 @@
+// Synthetic workload generation (Section 4, "Datasets": "sets are generated
+// randomly (and uniformly) from a universe Σ").
+//
+// Two generation modes back the paper's synthetic experiments:
+//  * controlled intersection — sample a common core of exactly r elements
+//    plus pairwise-disjoint private remainders, so |L1 ∩ ... ∩ Lk| == r
+//    precisely (Figures 4, 5, 8 and the size-ratio sweep fix r as a
+//    percentage of the smallest list);
+//  * plain uniform — every set drawn independently from the universe
+//    (Figure 6 draws ids "randomly generated using a uniform distribution
+//    over [0, 2*10^8]").
+
+#ifndef FSI_WORKLOAD_SYNTHETIC_H_
+#define FSI_WORKLOAD_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "util/rng.h"
+
+namespace fsi {
+
+/// Samples `n` distinct elements uniformly from [0, universe), sorted
+/// ascending.  Requires n <= universe.
+ElemList SampleSortedSet(std::size_t n, std::uint64_t universe,
+                         Xoshiro256& rng);
+
+/// Generates k sets of the given sizes whose full intersection is *exactly*
+/// `r` elements: a shared core of r elements plus mutually disjoint
+/// remainders (so no accidental extra full-intersection members; pairwise
+/// overlaps beyond the core are absent, which matches the paper's
+/// "intersection size fixed at x% of the list size" setup).
+/// Requires r <= min(sizes) and sum(sizes) - (k-1)*r <= universe.
+std::vector<ElemList> GenerateIntersectingSets(
+    const std::vector<std::size_t>& sizes, std::size_t r,
+    std::uint64_t universe, Xoshiro256& rng);
+
+/// Generates k independent uniform sets (Figure 6 mode).
+std::vector<ElemList> GenerateUniformSets(std::size_t k, std::size_t n,
+                                          std::uint64_t universe,
+                                          Xoshiro256& rng);
+
+}  // namespace fsi
+
+#endif  // FSI_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,114 @@
+// Unit tests for baseline-specific machinery (galloping search, BPP
+// signatures, Lookup bucket ranges) beyond the shared property sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/bpp.h"
+#include "baseline/lookup.h"
+#include "baseline/plain_set.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+TEST(GallopTest, MatchesLowerBound) {
+  Xoshiro256 rng(71);
+  ElemList sorted = SampleSortedSet(2000, 1 << 16, rng);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Elem x = static_cast<Elem>(rng.Below(1 << 16));
+    std::size_t lo = rng.Below(sorted.size());
+    std::size_t expected = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+                         sorted.end(), x) -
+        sorted.begin());
+    EXPECT_EQ(GallopGreaterEqual(sorted, lo, x), expected);
+  }
+}
+
+TEST(GallopTest, EdgeCases) {
+  ElemList sorted = {10, 20, 30};
+  EXPECT_EQ(GallopGreaterEqual(sorted, 0, 5), 0u);
+  EXPECT_EQ(GallopGreaterEqual(sorted, 0, 10), 0u);
+  EXPECT_EQ(GallopGreaterEqual(sorted, 0, 35), 3u);
+  EXPECT_EQ(GallopGreaterEqual(sorted, 3, 10), 3u);  // start at end
+  ElemList empty;
+  EXPECT_EQ(GallopGreaterEqual(empty, 0, 1), 0u);
+}
+
+TEST(LookupSetTest, BucketRangesCoverList) {
+  Xoshiro256 rng(72);
+  ElemList set = SampleSortedSet(5000, 1 << 18, rng);
+  LookupSet ls(set, 5);
+  std::size_t covered = 0;
+  std::uint32_t max_bucket = set.back() >> 5;
+  for (std::uint32_t b = 0; b <= max_bucket; ++b) {
+    auto [lo, hi] = ls.BucketRange(b);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      ASSERT_EQ(set[i] >> 5, b);
+    }
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, set.size());
+  // Beyond the maximum bucket: empty.
+  auto [lo, hi] = ls.BucketRange(max_bucket + 100);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST(LookupTest, RejectsNonPowerOfTwoBucket) {
+  EXPECT_THROW(LookupIntersection(33), std::invalid_argument);
+  EXPECT_THROW(LookupIntersection(0), std::invalid_argument);
+  EXPECT_NO_THROW(LookupIntersection(32));
+}
+
+TEST(BppSetTest, CodeOrderInvariants) {
+  UniversalHash code_hash(16, 123);
+  Xoshiro256 rng(73);
+  ElemList set = SampleSortedSet(500, 1 << 20, rng);
+  BppSet s(set, code_hash);
+  ASSERT_EQ(s.size(), set.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    // Codes match the hash of the stored element.
+    ASSERT_EQ(s.codes()[i], static_cast<std::uint16_t>(code_hash(s.elems()[i])));
+    if (i > 0) {
+      // (code, value) order.
+      bool ordered = s.codes()[i - 1] < s.codes()[i] ||
+                     (s.codes()[i - 1] == s.codes()[i] &&
+                      s.elems()[i - 1] < s.elems()[i]);
+      ASSERT_TRUE(ordered) << i;
+    }
+  }
+  // The stored elements are a permutation of the input.
+  ElemList sorted_elems(s.elems().begin(), s.elems().end());
+  std::sort(sorted_elems.begin(), sorted_elems.end());
+  EXPECT_EQ(sorted_elems, set);
+}
+
+TEST(BppTest, RejectsMoreThanTwoSets) {
+  BppIntersection alg;
+  ElemList a = {1, 2, 3};
+  auto p1 = alg.Preprocess(a);
+  auto p2 = alg.Preprocess(a);
+  auto p3 = alg.Preprocess(a);
+  std::vector<const PreprocessedSet*> sets = {p1.get(), p2.get(), p3.get()};
+  ElemList out;
+  EXPECT_THROW(alg.Intersect(sets, &out), std::invalid_argument);
+}
+
+TEST(SortBySizeTest, StableAscending) {
+  ElemList a = {1, 2, 3};
+  ElemList b = {1};
+  ElemList c = {1, 2};
+  PlainSet pa(a), pb(b), pc(c);
+  std::vector<const PreprocessedSet*> sets = {&pa, &pb, &pc};
+  auto sorted = SortBySize(sets);
+  EXPECT_EQ(sorted[0]->size(), 1u);
+  EXPECT_EQ(sorted[1]->size(), 2u);
+  EXPECT_EQ(sorted[2]->size(), 3u);
+}
+
+}  // namespace
+}  // namespace fsi

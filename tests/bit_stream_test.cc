@@ -1,0 +1,123 @@
+#include "codec/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(BitStreamTest, SingleBits) {
+  BitWriter w;
+  std::vector<bool> bits = {true, false, true, true, false, false, true};
+  for (bool b : bits) w.WriteBit(b);
+  EXPECT_EQ(w.BitCount(), bits.size());
+  BitReader r(w.buffer());
+  for (bool b : bits) EXPECT_EQ(r.ReadBit(), b);
+}
+
+TEST(BitStreamTest, FixedWidthRoundTrip) {
+  BitWriter w;
+  Xoshiro256 rng(17);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  for (int i = 0; i < 5000; ++i) {
+    int bits = 1 + static_cast<int>(rng.Below(64));
+    std::uint64_t mask =
+        bits == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+    std::uint64_t v = rng.Next() & mask;
+    fields.emplace_back(v, bits);
+    w.Write(v, bits);
+  }
+  BitReader r(w.buffer());
+  for (auto [v, bits] : fields) {
+    EXPECT_EQ(r.Read(bits), v);
+  }
+}
+
+TEST(BitStreamTest, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.Write(0, 0);
+  EXPECT_EQ(w.BitCount(), 0u);
+  w.Write(5, 3);
+  w.Write(0, 0);
+  w.Write(2, 2);
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.Read(3), 5u);
+  EXPECT_EQ(r.Read(2), 2u);
+}
+
+TEST(BitStreamTest, UnaryRoundTrip) {
+  BitWriter w;
+  std::vector<std::uint64_t> values = {0, 1, 2, 7, 63, 64, 65, 200, 1000};
+  for (auto v : values) w.WriteUnary(v);
+  BitReader r(w.buffer());
+  for (auto v : values) EXPECT_EQ(r.ReadUnary(), v);
+}
+
+TEST(BitStreamTest, UnaryBitLength) {
+  BitWriter w;
+  w.WriteUnary(5);
+  EXPECT_EQ(w.BitCount(), 6u);  // five zeros + terminating one
+}
+
+TEST(BitStreamTest, MixedFieldsAcrossWordBoundaries) {
+  // Force fields to straddle the 64-bit word boundary.
+  BitWriter w;
+  w.Write(0x1FFFFFFFFFFFFFFFULL, 61);
+  w.Write(0x2A, 6);    // straddles bit 61..66
+  w.Write(0x3FF, 10);  // second word
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.Read(61), 0x1FFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.Read(6), 0x2Au);
+  EXPECT_EQ(r.Read(10), 0x3FFu);
+}
+
+TEST(BitStreamTest, SkipAdvancesCursor) {
+  BitWriter w;
+  w.Write(0xAB, 8);
+  w.Write(0xCD, 8);
+  w.Write(0xEF, 8);
+  BitReader r(w.buffer());
+  r.Skip(8);
+  EXPECT_EQ(r.Read(8), 0xCDu);
+  r.Skip(0);
+  EXPECT_EQ(r.Read(8), 0xEFu);
+}
+
+TEST(BitStreamTest, PositionTracking) {
+  BitWriter w;
+  w.Write(1, 1);
+  w.Write(0x7F, 7);
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.position(), 0u);
+  r.Read(1);
+  EXPECT_EQ(r.position(), 1u);
+  r.Read(7);
+  EXPECT_EQ(r.position(), 8u);
+}
+
+TEST(BitStreamTest, SizeInWords) {
+  BitWriter w;
+  EXPECT_EQ(w.SizeInWords(), 0u);
+  w.Write(1, 1);
+  EXPECT_EQ(w.SizeInWords(), 1u);
+  w.Write(0, 63);
+  EXPECT_EQ(w.SizeInWords(), 1u);
+  w.Write(1, 1);
+  EXPECT_EQ(w.SizeInWords(), 2u);
+}
+
+TEST(BitStreamTest, LongUnaryAcrossManyWords) {
+  BitWriter w;
+  w.WriteUnary(500);  // spans ~8 words of zeros
+  w.Write(0x5, 3);
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.ReadUnary(), 500u);
+  EXPECT_EQ(r.Read(3), 5u);
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,100 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(BitsTest, WordBit) {
+  EXPECT_EQ(WordBit(0), 1u);
+  EXPECT_EQ(WordBit(1), 2u);
+  EXPECT_EQ(WordBit(63), 0x8000000000000000ULL);
+}
+
+TEST(BitsTest, LowestBitMatchesPaperFootnoteIdentity) {
+  // Footnote 1: lowbit = ((v - 1) XOR v) AND v.
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    Word v = rng.Next();
+    if (v == 0) continue;
+    Word expected = ((v - 1) ^ v) & v;
+    EXPECT_EQ(LowestBit(v), expected);
+  }
+}
+
+TEST(BitsTest, LowestBitIndex) {
+  for (int y = 0; y < 64; ++y) {
+    EXPECT_EQ(LowestBitIndex(WordBit(y)), y);
+    // Adding higher bits must not change the lowest index.
+    Word v = WordBit(y) | (y < 63 ? WordBit(63) : 0);
+    EXPECT_EQ(LowestBitIndex(v), y);
+  }
+}
+
+TEST(BitsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(~Word{0}), 64);
+  EXPECT_EQ(PopCount(0x5555555555555555ULL), 32);
+}
+
+TEST(BitsTest, FloorCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(~std::uint64_t{0}), 63);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(std::uint64_t{1} << 32), 32);
+}
+
+TEST(BitsTest, ForEachBitEnumeratesAscending) {
+  Word v = WordBit(3) | WordBit(17) | WordBit(42) | WordBit(63);
+  std::vector<int> seen;
+  ForEachBit(v, [&](int y) { seen.push_back(y); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 17, 42, 63}));
+}
+
+TEST(BitsTest, ForEachBitEmptyWord) {
+  int count = 0;
+  ForEachBit(0, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BitsTest, ForEachBitFullWord) {
+  std::vector<int> seen;
+  ForEachBit(~Word{0}, [&](int y) { seen.push_back(y); });
+  ASSERT_EQ(seen.size(), 64u);
+  for (int y = 0; y < 64; ++y) EXPECT_EQ(seen[static_cast<size_t>(y)], y);
+}
+
+TEST(BitsTest, SwarHasByte) {
+  Word packed = 0;
+  std::uint8_t bytes[8] = {3, 7, 7, 255, 0, 19, 200, 42};
+  for (int i = 0; i < 8; ++i) {
+    packed |= static_cast<Word>(bytes[i]) << (i * 8);
+  }
+  for (int b = 0; b < 256; ++b) {
+    bool expected = false;
+    for (std::uint8_t v : bytes) expected |= (v == b);
+    EXPECT_EQ(HasByte(packed, static_cast<std::uint8_t>(b)), expected)
+        << "byte " << b;
+  }
+}
+
+TEST(BitsTest, SwarHasZeroByte) {
+  EXPECT_TRUE(HasZeroByte(0x0001020304050607ULL));
+  EXPECT_FALSE(HasZeroByte(0x0101010101010101ULL));
+  EXPECT_TRUE(HasZeroByte(0));
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,162 @@
+// Tests for the compressed structures (Section 4.1, Appendix B): size
+// accounting and correctness of every codec, and the documented space
+// relationships between them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/compressed_baselines.h"
+#include "baseline/lookup.h"
+#include "baseline/merge.h"
+#include "core/compressed_scan.h"
+#include "core/ran_group_scan.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+ElemList GroundTruth(const std::vector<ElemList>& lists) {
+  ElemList acc = lists[0];
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    ElemList next;
+    std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    acc.swap(next);
+  }
+  return acc;
+}
+
+TEST(CompressedPlainSetTest, DecodeRoundTrip) {
+  Xoshiro256 rng(31);
+  for (auto codec : {EliasCodec::kGamma, EliasCodec::kDelta}) {
+    for (std::size_t n : {0u, 1u, 2u, 100u, 10000u}) {
+      ElemList set = SampleSortedSet(n, 1 << 24, rng);
+      CompressedPlainSet c(set, codec);
+      EXPECT_EQ(c.Decode(), set);
+      EXPECT_EQ(c.size(), n);
+    }
+  }
+}
+
+TEST(CompressedPlainSetTest, FirstElementZeroHandled) {
+  ElemList set = {0, 1, 5, 1000};
+  CompressedPlainSet c(set, EliasCodec::kDelta);
+  EXPECT_EQ(c.Decode(), set);
+}
+
+TEST(CompressedPlainSetTest, CompressionActuallyCompresses) {
+  // Dense lists have small gaps: compressed size must be far below the
+  // uncompressed 0.5 words/element.
+  Xoshiro256 rng(32);
+  ElemList set = SampleSortedSet(100000, 1 << 18, rng);  // avg gap < 4
+  CompressedPlainSet c(set, EliasCodec::kDelta);
+  EXPECT_LT(c.SizeInWords(), set.size() / 4);
+}
+
+TEST(CompressedLookupSetTest, BucketDecodeRoundTrip) {
+  Xoshiro256 rng(33);
+  ElemList set = SampleSortedSet(5000, 1 << 20, rng);
+  for (auto codec : {EliasCodec::kGamma, EliasCodec::kDelta}) {
+    CompressedLookupSet c(set, codec, 5);  // B = 32 requested; the
+    // structure may widen buckets to keep the directory O(n).
+    ElemList all;
+    std::vector<Elem> bucket;
+    for (std::uint32_t b = 0; b < c.num_buckets(); ++b) {
+      c.DecodeBucket(b, &bucket);
+      for (Elem x : bucket) {
+        EXPECT_EQ(x >> c.bucket_bits(), b);
+        all.push_back(x);
+      }
+    }
+    EXPECT_EQ(all, set);
+    // Out-of-range bucket decodes empty.
+    c.DecodeBucket(c.num_buckets() + 10, &bucket);
+    EXPECT_TRUE(bucket.empty());
+  }
+}
+
+TEST(CompressedScanSetTest, AllCodecsAgreeWithUncompressed) {
+  Xoshiro256 rng(34);
+  auto lists = GenerateIntersectingSets({3000, 5000, 8000}, 21, 1 << 22, rng);
+  ElemList expected = GroundTruth(lists);
+  for (auto codec :
+       {ScanCodec::kLowbits, ScanCodec::kGamma, ScanCodec::kDelta}) {
+    CompressedScanIntersection::Options o;
+    o.codec = codec;
+    CompressedScanIntersection alg(o);
+    EXPECT_EQ(alg.IntersectLists(lists), expected);
+  }
+}
+
+TEST(CompressedScanSetTest, MultipleHashImages) {
+  Xoshiro256 rng(35);
+  auto lists = GenerateIntersectingSets({2000, 2000}, 19, 1 << 20, rng);
+  ElemList expected = GroundTruth(lists);
+  for (int m : {1, 2, 4}) {
+    CompressedScanIntersection::Options o;
+    o.m = m;
+    CompressedScanIntersection alg(o);
+    EXPECT_EQ(alg.IntersectLists(lists), expected) << "m=" << m;
+  }
+}
+
+TEST(CompressedScanSetTest, SingleSetDecodesFully) {
+  Xoshiro256 rng(36);
+  ElemList set = SampleSortedSet(4000, 1 << 22, rng);
+  CompressedScanIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(std::vector<ElemList>{set}), set);
+}
+
+TEST(CompressedSpaceTest, PaperSpaceRelationships) {
+  // Section 4.1: compressed Merge < compressed Lookup < RanGroupScan_Lowbits
+  // in space; all three far below the m=4 uncompressed scan structure.
+  Xoshiro256 rng(37);
+  ElemList set = SampleSortedSet(100000, 1 << 22, rng);  // 1% dense
+
+  CompressedPlainSet merge_delta(set, EliasCodec::kDelta);
+  CompressedLookupSet lookup_delta(set, EliasCodec::kDelta, 5);
+
+  CompressedScanIntersection::Options lo;
+  lo.codec = ScanCodec::kLowbits;
+  CompressedScanIntersection lowbits(lo);
+  auto scan_lowbits = lowbits.Preprocess(set);
+
+  RanGroupScanIntersection uncompressed;
+  auto scan_plain = uncompressed.Preprocess(set);
+
+  // The γ/δ-coded inverted index is the smallest; the Lowbits scan
+  // structure costs more than compressed Merge but far less than the
+  // uncompressed block structure.  (The Lookup directory is universe-
+  // proportional, so its relation to Lowbits depends on density; the fig08
+  // bench reports the measured ratios.)
+  EXPECT_LT(merge_delta.SizeInWords(), lookup_delta.SizeInWords());
+  EXPECT_LT(merge_delta.SizeInWords(), scan_lowbits->SizeInWords());
+  EXPECT_LT(scan_lowbits->SizeInWords(), scan_plain->SizeInWords());
+}
+
+TEST(CompressedMergeTest, KWayStreamingDecode) {
+  Xoshiro256 rng(38);
+  auto lists =
+      GenerateIntersectingSets({1000, 2000, 3000, 4000}, 15, 1 << 22, rng);
+  ElemList expected = GroundTruth(lists);
+  for (auto name : {"Merge_Gamma", "Merge_Delta"}) {
+    CompressedMergeIntersection alg(name == std::string("Merge_Gamma")
+                                        ? EliasCodec::kGamma
+                                        : EliasCodec::kDelta);
+    EXPECT_EQ(alg.IntersectLists(lists), expected) << name;
+  }
+}
+
+TEST(CompressedLookupTest, SkewedProbing) {
+  Xoshiro256 rng(39);
+  auto lists = GenerateIntersectingSets({100, 50000}, 9, 1 << 24, rng);
+  ElemList expected = GroundTruth(lists);
+  CompressedLookupIntersection alg(EliasCodec::kDelta);
+  EXPECT_EQ(alg.IntersectLists(lists), expected);
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,108 @@
+#include "codec/elias.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/bit_stream.h"
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(EliasTest, GammaKnownCodes) {
+  // gamma(1) = "1" (1 bit); gamma(2) = "01 0"; gamma(5) = "001 01".
+  BitWriter w;
+  WriteGamma(w, 1);
+  EXPECT_EQ(w.BitCount(), 1u);
+  BitWriter w2;
+  WriteGamma(w2, 2);
+  EXPECT_EQ(w2.BitCount(), 3u);
+  BitWriter w5;
+  WriteGamma(w5, 5);
+  EXPECT_EQ(w5.BitCount(), 5u);
+}
+
+TEST(EliasTest, GammaRoundTripExhaustiveSmall) {
+  BitWriter w;
+  for (std::uint64_t x = 1; x <= 4096; ++x) WriteGamma(w, x);
+  BitReader r(w.buffer());
+  for (std::uint64_t x = 1; x <= 4096; ++x) EXPECT_EQ(ReadGamma(r), x);
+}
+
+TEST(EliasTest, DeltaRoundTripExhaustiveSmall) {
+  BitWriter w;
+  for (std::uint64_t x = 1; x <= 4096; ++x) WriteDelta(w, x);
+  BitReader r(w.buffer());
+  for (std::uint64_t x = 1; x <= 4096; ++x) EXPECT_EQ(ReadDelta(r), x);
+}
+
+TEST(EliasTest, RoundTripRandomLarge) {
+  Xoshiro256 rng(23);
+  std::vector<std::uint64_t> values;
+  BitWriter wg;
+  BitWriter wd;
+  for (int i = 0; i < 20000; ++i) {
+    // Mix magnitudes: spread across 1..2^50.
+    int bits = 1 + static_cast<int>(rng.Below(50));
+    std::uint64_t v = 1 + (rng.Next() >> (64 - bits));
+    values.push_back(v);
+    WriteGamma(wg, v);
+    WriteDelta(wd, v);
+  }
+  BitReader rg(wg.buffer());
+  BitReader rd(wd.buffer());
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(ReadGamma(rg), v);
+    EXPECT_EQ(ReadDelta(rd), v);
+  }
+}
+
+TEST(EliasTest, BitLengthAccountingMatchesWriter) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = 1 + rng.Below(1 << 30);
+    BitWriter wg;
+    WriteGamma(wg, v);
+    EXPECT_EQ(wg.BitCount(), static_cast<std::size_t>(GammaBits(v)));
+    BitWriter wd;
+    WriteDelta(wd, v);
+    EXPECT_EQ(wd.BitCount(), static_cast<std::size_t>(DeltaBits(v)));
+  }
+}
+
+TEST(EliasTest, DeltaShorterThanGammaForLargeValues) {
+  EXPECT_LT(DeltaBits(1 << 20), GammaBits(1 << 20));
+  EXPECT_LT(DeltaBits(1ULL << 40), GammaBits(1ULL << 40));
+}
+
+TEST(EliasTest, GammaShorterForTinyValues) {
+  EXPECT_LE(GammaBits(1), DeltaBits(1));
+  EXPECT_LE(GammaBits(2), DeltaBits(2));
+}
+
+TEST(EliasTest, GapStreamRoundTrip) {
+  Xoshiro256 rng(31);
+  std::vector<std::uint64_t> sorted;
+  std::uint64_t cur = 0;
+  for (int i = 0; i < 5000; ++i) {
+    cur += 1 + rng.Below(1000);
+    sorted.push_back(cur);
+  }
+  BitWriter w;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    WriteDelta(w, sorted[i] - prev + (i == 0 ? 1 : 0));
+    prev = sorted[i];
+  }
+  BitReader r(w.buffer());
+  prev = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    prev += ReadDelta(r) - (i == 0 ? 1 : 0);
+    EXPECT_EQ(prev, sorted[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,100 @@
+#include "hash/feistel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(FeistelTest, RejectsInvalidDomain) {
+  EXPECT_THROW(FeistelPermutation(3, 1), std::invalid_argument);
+  EXPECT_THROW(FeistelPermutation(0, 1), std::invalid_argument);
+  EXPECT_THROW(FeistelPermutation(66, 1), std::invalid_argument);
+  EXPECT_NO_THROW(FeistelPermutation(2, 1));
+  EXPECT_NO_THROW(FeistelPermutation(64, 1));
+}
+
+TEST(FeistelTest, IsABijectionOnSmallDomains) {
+  for (int bits : {2, 4, 8, 12, 16}) {
+    FeistelPermutation g(bits, 0xdeadbeef);
+    std::uint64_t domain = std::uint64_t{1} << bits;
+    std::vector<bool> hit(domain, false);
+    for (std::uint64_t x = 0; x < domain; ++x) {
+      std::uint64_t y = g.Apply(x);
+      ASSERT_LT(y, domain) << "output outside domain, bits=" << bits;
+      ASSERT_FALSE(hit[y]) << "collision at bits=" << bits;
+      hit[y] = true;
+    }
+  }
+}
+
+TEST(FeistelTest, InvertRoundTripsSmallDomain) {
+  FeistelPermutation g(16, 42);
+  for (std::uint64_t x = 0; x < (1u << 16); ++x) {
+    EXPECT_EQ(g.Invert(g.Apply(x)), x);
+  }
+}
+
+TEST(FeistelTest, InvertRoundTrips32And64Bits) {
+  FeistelPermutation g32(32, 7);
+  FeistelPermutation g64(64, 7);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t x32 = rng.Next() & 0xFFFFFFFFu;
+    EXPECT_EQ(g32.Invert(g32.Apply(x32)), x32);
+    std::uint64_t x64 = rng.Next();
+    EXPECT_EQ(g64.Invert(g64.Apply(x64)), x64);
+  }
+}
+
+TEST(FeistelTest, DifferentSeedsGiveDifferentPermutations) {
+  FeistelPermutation a(32, 1);
+  FeistelPermutation b(32, 2);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    if (a.Apply(x) != b.Apply(x)) ++differing;
+  }
+  EXPECT_GT(differing, 250);  // near-certain disagreement
+}
+
+TEST(FeistelTest, PrefixMatchesTopBits) {
+  FeistelPermutation g(32, 11);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t x = rng.Next() & 0xFFFFFFFFu;
+    std::uint64_t y = g.Apply(x);
+    for (int t : {0, 1, 5, 13, 32}) {
+      EXPECT_EQ(g.Prefix(x, t), t == 0 ? 0 : (y >> (32 - t)));
+    }
+  }
+}
+
+TEST(FeistelTest, PrefixPartitionIsBalanced) {
+  // Group sizes under g_t should concentrate around n / 2^t
+  // (Proposition A.2's premise).
+  FeistelPermutation g(32, 99);
+  const int t = 6;  // 64 groups
+  std::vector<int> counts(1 << t, 0);
+  const int n = 1 << 16;
+  for (int x = 0; x < n; ++x) {
+    ++counts[g.Prefix(static_cast<std::uint64_t>(x), t)];
+  }
+  double expected = static_cast<double>(n) / (1 << t);
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+TEST(FeistelTest, DomainSize) {
+  EXPECT_EQ(FeistelPermutation(8, 1).domain_size(), 256u);
+  EXPECT_EQ(FeistelPermutation(32, 1).domain_size(), 1ULL << 32);
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,121 @@
+// Statistical validation of the filtering analysis (Appendix A.5):
+//  * Lemma A.1: for two sqrt(w)-element groups with empty intersection, one
+//    word image filters with probability >= (1 - 1/sqrt(w))^sqrt(w)
+//    (~0.3436 for w = 64);
+//  * m independent images boost the failure rate to (1 - beta)^m;
+//  * Proposition A.2: randomized group sizes concentrate around sqrt(w).
+// All tests use fixed seeds and generous slack, so they are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/ran_group_scan.h"
+#include "hash/universal_hash.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+TEST(FilteringTest, LemmaA1SingleImageBound) {
+  // Empty-intersection pairs of 8-element sets: measure how often the word
+  // images are disjoint.
+  const double kBound = std::pow(1.0 - 1.0 / 8.0, 8.0);  // ~0.3436
+  Xoshiro256 rng(61);
+  SplitMix64 seeds(62);
+  int filtered = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    auto lists = GenerateIntersectingSets({8, 8}, 0, 1 << 24, rng);
+    WordHash h(seeds.Next());
+    Word img1 = 0;
+    Word img2 = 0;
+    for (Elem x : lists[0]) img1 |= h.Image(x);
+    for (Elem x : lists[1]) img2 |= h.Image(x);
+    if ((img1 & img2) == 0) ++filtered;
+  }
+  double rate = static_cast<double>(filtered) / kTrials;
+  EXPECT_GT(rate, kBound - 0.03);  // must meet the lemma's lower bound
+  EXPECT_LT(rate, 0.75);           // and not be trivially 1
+}
+
+TEST(FilteringTest, MultipleImagesBoostFiltering) {
+  // P(filtered with m images) ~ 1 - (1 - beta)^m: must increase with m.
+  Xoshiro256 rng(63);
+  const int kTrials = 3000;
+  std::vector<double> rates;
+  for (int m : {1, 2, 4, 8}) {
+    WordHashFamily fam(m, 0xabcdef12u + static_cast<unsigned>(m));
+    int filtered = 0;
+    Xoshiro256 trial_rng(64);
+    for (int i = 0; i < kTrials; ++i) {
+      auto lists = GenerateIntersectingSets({8, 8}, 0, 1 << 24, trial_rng);
+      std::vector<Word> img1(static_cast<std::size_t>(m), 0);
+      std::vector<Word> img2(static_cast<std::size_t>(m), 0);
+      for (Elem x : lists[0]) fam.AccumulateImages(x, img1.data());
+      for (Elem x : lists[1]) fam.AccumulateImages(x, img2.data());
+      bool pass = false;
+      for (int j = 0; j < m; ++j) {
+        if ((img1[static_cast<std::size_t>(j)] &
+             img2[static_cast<std::size_t>(j)]) == 0) {
+          pass = true;
+          break;
+        }
+      }
+      if (pass) ++filtered;
+    }
+    rates.push_back(static_cast<double>(filtered) / kTrials);
+  }
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GT(rates[i], rates[i - 1]) << "m step " << i;
+  }
+  EXPECT_GT(rates.back(), 0.8);  // m=8 filters the vast majority
+}
+
+TEST(FilteringTest, NonEmptyIntersectionNeverFiltered) {
+  // Soundness: if the groups share an element, every image pair intersects.
+  Xoshiro256 rng(65);
+  SplitMix64 seeds(66);
+  for (int i = 0; i < 2000; ++i) {
+    auto lists = GenerateIntersectingSets({8, 8}, 1 + rng.Below(7) % 8,
+                                          1 << 24, rng);
+    WordHash h(seeds.Next());
+    Word img1 = 0;
+    Word img2 = 0;
+    for (Elem x : lists[0]) img1 |= h.Image(x);
+    for (Elem x : lists[1]) img2 |= h.Image(x);
+    ASSERT_NE(img1 & img2, 0u);
+  }
+}
+
+TEST(FilteringTest, PropositionA2GroupSizeConcentration) {
+  // Group sizes under the default resolution concentrate near sqrt(w):
+  // mean in [sqrt(w)/2, sqrt(w)] (Prop. A.2(i)) and almost all groups below
+  // delta(w) * sqrt(w) with delta(64) ~ 2.61 (Prop. A.2(iii)).
+  RanGroupScanIntersection alg;
+  Xoshiro256 rng(67);
+  ElemList set = SampleSortedSet(100000, 1 << 26, rng);
+  auto pre = alg.Preprocess(set);
+  const auto& s = As<ScanSet>(*pre);
+  double delta_w = 1.0 + std::sqrt(6.0 * std::log(4.0 * 8.0) / 8.0);
+  std::size_t oversized = 0;
+  double total = 0;
+  for (std::uint64_t z = 0; z < s.num_groups(); ++z) {
+    auto [lo, hi] = s.GroupRange(z);
+    double size = hi - lo;
+    total += size;
+    if (size > delta_w * 8.0) ++oversized;
+  }
+  double mean = total / static_cast<double>(s.num_groups());
+  EXPECT_GE(mean, 4.0);
+  EXPECT_LE(mean, 8.0);
+  // Prop. A.2(iii) bounds the tail at 1/(4 sqrt(w)) ~ 3%; allow 2x slack.
+  EXPECT_LT(static_cast<double>(oversized) /
+                static_cast<double>(s.num_groups()),
+            0.06);
+}
+
+}  // namespace
+}  // namespace fsi

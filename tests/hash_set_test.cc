@@ -1,0 +1,83 @@
+#include "container/hash_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(HashSetTest, EmptySet) {
+  HashSet<std::uint32_t> set;
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(42));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(HashSetTest, BasicMembership) {
+  std::vector<std::uint32_t> keys = {1, 5, 9, 1000000, 0};
+  HashSet<std::uint32_t> set(keys);
+  EXPECT_EQ(set.size(), 5u);
+  for (auto k : keys) EXPECT_TRUE(set.Contains(k));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_FALSE(set.Contains(999999));
+}
+
+TEST(HashSetTest, DuplicatesCollapse) {
+  std::vector<std::uint32_t> keys = {7, 7, 7, 8};
+  HashSet<std::uint32_t> set(keys);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_TRUE(set.Contains(8));
+}
+
+TEST(HashSetTest, LargeRandomMembership) {
+  Xoshiro256 rng(51);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back(static_cast<std::uint32_t>(rng.Next()));
+  }
+  HashSet<std::uint32_t> set(keys);
+  for (auto k : keys) ASSERT_TRUE(set.Contains(k));
+  // Random probes: false positives must not occur.
+  int fp = 0;
+  for (int i = 0; i < 100000; ++i) {
+    auto probe = static_cast<std::uint32_t>(rng.Next());
+    bool expected = std::find(keys.begin(), keys.end(), probe) != keys.end();
+    if (!expected && set.Contains(probe)) ++fp;
+    if (i > 200) break;  // the linear find above is O(n); sample a few
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+TEST(HashSetTest, AdversarialClusteredKeys) {
+  // Consecutive keys stress linear probing runs.
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 1000; i < 3000; ++i) keys.push_back(i);
+  HashSet<std::uint32_t> set(keys);
+  for (std::uint32_t i = 1000; i < 3000; ++i) EXPECT_TRUE(set.Contains(i));
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_FALSE(set.Contains(i));
+  for (std::uint32_t i = 3000; i < 4000; ++i) EXPECT_FALSE(set.Contains(i));
+}
+
+TEST(HashSetTest, SpaceAccountingHalfLoadFactor) {
+  std::vector<std::uint32_t> keys(1000);
+  for (std::uint32_t i = 0; i < 1000; ++i) keys[i] = i * 7919;
+  HashSet<std::uint32_t> set(keys);
+  // Capacity is the smallest power of two >= 2n.
+  EXPECT_EQ(set.SizeInWords(), 2048u);
+}
+
+TEST(HashSetTest, SixtyFourBitKeys) {
+  std::vector<std::uint64_t> keys = {0, 1ULL << 40, 0xFFFFFFFFULL,
+                                     0x123456789ABCDEFULL};
+  HashSet<std::uint64_t> set(keys);
+  for (auto k : keys) EXPECT_TRUE(set.Contains(k));
+  EXPECT_FALSE(set.Contains(2));
+}
+
+}  // namespace
+}  // namespace fsi

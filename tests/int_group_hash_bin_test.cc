@@ -1,0 +1,155 @@
+// Algorithm-specific tests for IntGroup (Section 3.1) and HashBin
+// (Section 3.4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/hash_bin.h"
+#include "core/int_group.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+ElemList GroundTruth(const ElemList& a, const ElemList& b) {
+  ElemList out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IntGroup
+// ---------------------------------------------------------------------------
+
+TEST(IntGroupTest, GroupStructureInvariants) {
+  IntGroupIntersection alg;
+  Xoshiro256 rng(21);
+  ElemList set = SampleSortedSet(1000, 1 << 20, rng);
+  auto pre = alg.Preprocess(set);
+  const auto& s = As<FixedGroupSet>(*pre);
+  ASSERT_EQ(s.group_size(), static_cast<std::size_t>(kSqrtWordBits));
+  ASSERT_EQ(s.num_groups(), (set.size() + 7) / 8);
+  for (std::size_t p = 0; p < s.num_groups(); ++p) {
+    auto [lo, hi] = s.GroupRange(p);
+    Word img = 0;
+    Elem mn = ~Elem{0};
+    Elem mx = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      img |= WordBit(s.hvals()[i]);
+      mn = std::min(mn, s.elems()[i]);
+      mx = std::max(mx, s.elems()[i]);
+      if (i > lo) {
+        // (h, x)-order inside the group.
+        bool ordered = s.hvals()[i - 1] < s.hvals()[i] ||
+                       (s.hvals()[i - 1] == s.hvals()[i] &&
+                        s.elems()[i - 1] < s.elems()[i]);
+        ASSERT_TRUE(ordered) << "group " << p;
+      }
+    }
+    ASSERT_EQ(s.Image(p), img);
+    ASSERT_EQ(s.GroupMin(p), mn);
+    ASSERT_EQ(s.GroupMax(p), mx);
+  }
+  // Group ranges must be consecutive and ordered by value.
+  for (std::size_t p = 1; p < s.num_groups(); ++p) {
+    ASSERT_LT(s.GroupMax(p - 1), s.GroupMin(p));
+  }
+}
+
+TEST(IntGroupTest, VariousGroupSizes) {
+  Xoshiro256 rng(22);
+  auto lists = GenerateIntersectingSets({1500, 2500}, 31, 1 << 22, rng);
+  ElemList expected = GroundTruth(lists[0], lists[1]);
+  for (std::size_t gs : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    IntGroupIntersection::Options o;
+    o.group_size = gs;
+    IntGroupIntersection alg(o);
+    EXPECT_EQ(alg.IntersectLists(lists), expected) << "group_size=" << gs;
+  }
+}
+
+TEST(IntGroupTest, RejectsMoreThanTwoSets) {
+  IntGroupIntersection alg;
+  ElemList a = {1, 2};
+  auto p1 = alg.Preprocess(a);
+  auto p2 = alg.Preprocess(a);
+  auto p3 = alg.Preprocess(a);
+  std::vector<const PreprocessedSet*> sets = {p1.get(), p2.get(), p3.get()};
+  ElemList out;
+  EXPECT_THROW(alg.Intersect(sets, &out), std::invalid_argument);
+  EXPECT_EQ(alg.max_query_sets(), 2u);
+}
+
+TEST(IntGroupTest, RejectsBadGroupSize) {
+  IntGroupIntersection::Options o;
+  o.group_size = 0;
+  EXPECT_THROW(IntGroupIntersection{o}, std::invalid_argument);
+  o.group_size = 1000;
+  EXPECT_THROW(IntGroupIntersection{o}, std::invalid_argument);
+}
+
+TEST(IntGroupTest, HeavyCollisionGroups) {
+  // Dense consecutive values make whole groups share few hash values.
+  ElemList a, b;
+  for (Elem i = 0; i < 2000; ++i) a.push_back(i);
+  for (Elem i = 1000; i < 3000; ++i) b.push_back(i);
+  IntGroupIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(std::vector<ElemList>{a, b}),
+            GroundTruth(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// HashBin
+// ---------------------------------------------------------------------------
+
+TEST(HashBinTest, SkewedPairsAllRatios) {
+  Xoshiro256 rng(23);
+  for (std::size_t n1 : {1u, 2u, 10u, 100u, 1000u}) {
+    auto lists = GenerateIntersectingSets({n1, 50000},
+                                          std::min<std::size_t>(n1, 3),
+                                          1 << 24, rng);
+    HashBinIntersection alg;
+    EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists[0], lists[1]))
+        << "n1=" << n1;
+  }
+}
+
+TEST(HashBinTest, BalancedSizesStillCorrect) {
+  // HashBin is designed for skew but must stay correct without it.
+  Xoshiro256 rng(24);
+  auto lists = GenerateIntersectingSets({5000, 5000}, 49, 1 << 22, rng);
+  HashBinIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists[0], lists[1]));
+}
+
+TEST(HashBinTest, MultiSetExtension) {
+  Xoshiro256 rng(25);
+  auto lists =
+      GenerateIntersectingSets({30, 3000, 30000}, 5, 1 << 24, rng);
+  HashBinIntersection alg;
+  ElemList expected = GroundTruth(GroundTruth(lists[0], lists[1]), lists[2]);
+  EXPECT_EQ(alg.IntersectLists(lists), expected);
+}
+
+TEST(HashBinTest, GOrderedSetSpaceIsHalfWordPerElement) {
+  HashBinIntersection alg;
+  Xoshiro256 rng(26);
+  ElemList set = SampleSortedSet(10000, 1 << 24, rng);
+  auto pre = alg.Preprocess(set);
+  EXPECT_EQ(pre->SizeInWords(), 5000u);
+}
+
+TEST(HashBinTest, DenseLeadGroupsMultipleElementsPerGroup) {
+  // n1 not a power of two and dense: lead groups hold >1 element.
+  Xoshiro256 rng(27);
+  auto lists = GenerateIntersectingSets({777, 7777}, 77, 1 << 20, rng);
+  HashBinIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists[0], lists[1]));
+}
+
+}  // namespace
+}  // namespace fsi

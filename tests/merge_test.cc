@@ -1,0 +1,120 @@
+#include "baseline/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+ElemList StdIntersect(const ElemList& a, const ElemList& b) {
+  ElemList out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(MergeTest, TwoWayBasic) {
+  ElemList a = {1, 3, 5, 7, 9};
+  ElemList b = {3, 4, 5, 6, 9, 10};
+  ElemList out;
+  MergeIntersect(a, b, &out);
+  EXPECT_EQ(out, (ElemList{3, 5, 9}));
+}
+
+TEST(MergeTest, TwoWayDisjoint) {
+  ElemList a = {1, 2, 3};
+  ElemList b = {4, 5, 6};
+  ElemList out;
+  MergeIntersect(a, b, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MergeTest, TwoWayIdentical) {
+  ElemList a = {10, 20, 30};
+  ElemList out;
+  MergeIntersect(a, a, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(MergeTest, TwoWayEmpty) {
+  ElemList a = {};
+  ElemList b = {1, 2};
+  ElemList out;
+  MergeIntersect(a, b, &out);
+  EXPECT_TRUE(out.empty());
+  MergeIntersect(b, a, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MergeTest, TwoWayAgainstStdRandom) {
+  Xoshiro256 rng(81);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n1 = 1 + rng.Below(500);
+    std::size_t n2 = 1 + rng.Below(500);
+    ElemList a = SampleSortedSet(n1, 2000, rng);
+    ElemList b = SampleSortedSet(n2, 2000, rng);
+    ElemList out;
+    MergeIntersect(a, b, &out);
+    EXPECT_EQ(out, StdIntersect(a, b));
+  }
+}
+
+TEST(MergeTest, KWayMatchesCascadedTwoWay) {
+  Xoshiro256 rng(83);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t k = 2 + rng.Below(5);
+    std::vector<ElemList> lists;
+    for (std::size_t i = 0; i < k; ++i) {
+      lists.push_back(SampleSortedSet(100 + rng.Below(400), 1500, rng));
+    }
+    ElemList expected = lists[0];
+    for (std::size_t i = 1; i < k; ++i) {
+      expected = StdIntersect(expected, lists[i]);
+    }
+    std::vector<std::span<const Elem>> spans(lists.begin(), lists.end());
+    ElemList out;
+    MergeIntersectK(spans, &out);
+    EXPECT_EQ(out, expected) << "k=" << k;
+  }
+}
+
+TEST(MergeTest, KWaySingleList) {
+  ElemList a = {1, 5, 9};
+  std::vector<std::span<const Elem>> spans = {a};
+  ElemList out;
+  MergeIntersectK(spans, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(MergeTest, KWayOneEmptyList) {
+  ElemList a = {1, 5, 9};
+  ElemList b = {};
+  ElemList c = {1, 9};
+  std::vector<std::span<const Elem>> spans = {a, b, c};
+  ElemList out;
+  MergeIntersectK(spans, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MergeTest, AlgorithmInterface) {
+  MergeIntersection alg;
+  EXPECT_EQ(alg.name(), "Merge");
+  std::vector<ElemList> lists = {{1, 2, 3, 4}, {2, 4, 6}, {0, 2, 4, 8}};
+  EXPECT_EQ(alg.IntersectLists(lists), (ElemList{2, 4}));
+}
+
+TEST(MergeTest, PreprocessRejectsUnsortedInput) {
+  MergeIntersection alg;
+  ElemList bad = {3, 1, 2};
+  EXPECT_THROW(alg.Preprocess(bad), std::invalid_argument);
+  ElemList dup = {1, 1, 2};
+  EXPECT_THROW(alg.Preprocess(dup), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsi

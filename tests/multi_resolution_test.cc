@@ -1,0 +1,173 @@
+// Invariant tests for the multi-resolution structure (Section 3.2.1):
+// groups partition the set at every resolution, images match group
+// contents, and first/next chains enumerate exactly h^{-1}(y, L^z) in
+// g-order.
+
+#include "core/multi_resolution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+class MultiResolutionTest : public ::testing::Test {
+ protected:
+  MultiResolutionTest() : g_(32, 111), h_(222) {}
+
+  FeistelPermutation g_;
+  WordHash h_;
+};
+
+TEST_F(MultiResolutionTest, EmptySet) {
+  MultiResolutionSet s({}, g_, h_);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_GE(s.max_resolution(), 0);
+  auto [lo, hi] = s.GroupRange(0, 0);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST_F(MultiResolutionTest, GvalsAreSortedAndBijective) {
+  Xoshiro256 rng(1);
+  ElemList set = SampleSortedSet(5000, 1 << 24, rng);
+  MultiResolutionSet s(set, g_, h_);
+  ASSERT_EQ(s.size(), set.size());
+  auto gv = s.gvals();
+  EXPECT_TRUE(std::is_sorted(gv.begin(), gv.end()));
+  // Inverting every gval must recover the original set exactly.
+  ElemList recovered;
+  for (auto v : gv) recovered.push_back(static_cast<Elem>(g_.Invert(v)));
+  std::sort(recovered.begin(), recovered.end());
+  EXPECT_EQ(recovered, set);
+}
+
+TEST_F(MultiResolutionTest, GroupsPartitionEveryResolution) {
+  Xoshiro256 rng(2);
+  ElemList set = SampleSortedSet(3000, 1 << 20, rng);
+  MultiResolutionSet s(set, g_, h_);
+  for (int t = 0; t <= s.max_resolution(); ++t) {
+    std::uint32_t covered = 0;
+    std::uint32_t prev_hi = 0;
+    for (std::uint64_t z = 0; z < (std::uint64_t{1} << t); ++z) {
+      auto [lo, hi] = s.GroupRange(t, z);
+      ASSERT_EQ(lo, prev_hi) << "gap at t=" << t << " z=" << z;
+      ASSERT_LE(lo, hi);
+      // Every element in the group has prefix z.
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        ASSERT_EQ(static_cast<std::uint64_t>(s.gvals()[i]) >> (32 - t), z);
+      }
+      covered += hi - lo;
+      prev_hi = hi;
+    }
+    ASSERT_EQ(covered, s.size()) << "t=" << t;
+  }
+}
+
+TEST_F(MultiResolutionTest, ImagesMatchGroupContents) {
+  Xoshiro256 rng(3);
+  ElemList set = SampleSortedSet(2000, 1 << 22, rng);
+  MultiResolutionSet s(set, g_, h_);
+  for (int t : {0, 2, s.max_resolution() / 2, s.max_resolution()}) {
+    for (std::uint64_t z = 0; z < (std::uint64_t{1} << t); ++z) {
+      auto [lo, hi] = s.GroupRange(t, z);
+      Word expected = 0;
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        expected |= WordBit(s.hval(i));
+      }
+      ASSERT_EQ(s.Image(t, z), expected) << "t=" << t << " z=" << z;
+    }
+  }
+}
+
+TEST_F(MultiResolutionTest, HvalsMatchHashOfGval) {
+  Xoshiro256 rng(4);
+  ElemList set = SampleSortedSet(1000, 1 << 20, rng);
+  MultiResolutionSet s(set, g_, h_);
+  for (std::uint32_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.hval(i), h_(s.gvals()[i]));
+  }
+}
+
+TEST_F(MultiResolutionTest, FirstNextChainsEnumerateInvertedMappings) {
+  Xoshiro256 rng(5);
+  ElemList set = SampleSortedSet(4000, 1 << 24, rng);
+  MultiResolutionSet s(set, g_, h_);
+  for (int t : {1, 4, s.max_resolution()}) {
+    for (std::uint64_t z = 0; z < (std::uint64_t{1} << t); ++z) {
+      auto [lo, hi] = s.GroupRange(t, z);
+      for (int y = 0; y < kWordBits; ++y) {
+        // Reference: positions in [lo, hi) with hval == y, ascending.
+        std::vector<std::uint32_t> expected;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+          if (s.hval(i) == y) expected.push_back(i);
+        }
+        // Walk the chain.
+        std::vector<std::uint32_t> chain;
+        std::uint32_t p = s.FirstPos(t, z, y);
+        while (p != kNoPos && p < hi) {
+          chain.push_back(p);
+          p = s.NextPos(p);
+        }
+        ASSERT_EQ(chain, expected) << "t=" << t << " z=" << z << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST_F(MultiResolutionTest, DefaultResolutionMatchesPaperFormula) {
+  Xoshiro256 rng(6);
+  for (std::size_t n : {1u, 8u, 9u, 64u, 100u, 1000u, 100000u}) {
+    ElemList set = SampleSortedSet(n, 1 << 26, rng);
+    MultiResolutionSet s(set, g_, h_);
+    int expected = n <= 8 ? 0 : CeilLog2((n + 7) / 8);
+    EXPECT_EQ(s.DefaultResolution(), s.ClampResolution(expected)) << n;
+    // Expected group size at the default resolution is <= 2*sqrt(w).
+    auto groups = std::uint64_t{1} << s.DefaultResolution();
+    EXPECT_LE(static_cast<double>(n) / static_cast<double>(groups),
+              2.0 * kSqrtWordBits);
+  }
+}
+
+TEST_F(MultiResolutionTest, SpaceIsLinear) {
+  // Theorem 3.8: O(n) words.  The full multi-resolution build has a
+  // constant of ~16-18 words/element (every resolution keeps images and
+  // packed first-tables); verify it stays bounded as n grows 100x.
+  Xoshiro256 rng(7);
+  double prev_ratio = 0;
+  for (std::size_t n : {1000u, 10000u, 100000u}) {
+    ElemList set = SampleSortedSet(n, 1 << 28, rng);
+    MultiResolutionSet s(set, g_, h_);
+    double words_per_elem =
+        static_cast<double>(s.SizeInWords()) / static_cast<double>(n);
+    EXPECT_LT(words_per_elem, 24.0) << "n=" << n;
+    prev_ratio = words_per_elem;
+  }
+  (void)prev_ratio;
+}
+
+TEST_F(MultiResolutionTest, SingleResolutionIsMuchSmaller) {
+  Xoshiro256 rng(8);
+  ElemList set = SampleSortedSet(100000, 1 << 28, rng);
+  MultiResolutionSet full(set, g_, h_, /*single_resolution=*/false);
+  MultiResolutionSet single(set, g_, h_, /*single_resolution=*/true);
+  EXPECT_TRUE(single.HasResolution(single.DefaultResolution()));
+  EXPECT_FALSE(single.HasResolution(0));
+  double words_per_elem =
+      static_cast<double>(single.SizeInWords()) / 100000.0;
+  EXPECT_LT(words_per_elem, 3.0);
+  EXPECT_LT(single.SizeInWords() * 4, full.SizeInWords());
+}
+
+TEST_F(MultiResolutionTest, RejectsElementOutsideDomain) {
+  FeistelPermutation small_g(16, 1);
+  ElemList bad = {1, 2, 70000};  // 70000 >= 2^16
+  EXPECT_THROW(MultiResolutionSet(bad, small_g, h_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsi

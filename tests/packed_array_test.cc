@@ -1,0 +1,67 @@
+#include "util/packed_array.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(PackedArrayTest, ZeroInitialized) {
+  PackedArray a(100, 7);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a.Get(i), 0u);
+}
+
+TEST(PackedArrayTest, SetGetRoundTripAllWidths) {
+  Xoshiro256 rng(41);
+  for (int bits = 1; bits <= 57; ++bits) {
+    PackedArray a(257, bits);
+    std::vector<std::uint64_t> expected(257);
+    for (std::size_t i = 0; i < 257; ++i) {
+      expected[i] = rng.Next() & a.max_value();
+      a.Set(i, expected[i]);
+    }
+    for (std::size_t i = 0; i < 257; ++i) {
+      EXPECT_EQ(a.Get(i), expected[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedArrayTest, OverwriteDoesNotDisturbNeighbours) {
+  PackedArray a(64, 13);
+  for (std::size_t i = 0; i < 64; ++i) a.Set(i, i * 31 % a.max_value());
+  a.Set(20, a.max_value());
+  a.Set(21, 0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::uint64_t expected = (i == 20)   ? a.max_value()
+                             : (i == 21) ? 0
+                                         : i * 31 % a.max_value();
+    EXPECT_EQ(a.Get(i), expected) << i;
+  }
+}
+
+TEST(PackedArrayTest, MaxValue) {
+  EXPECT_EQ(PackedArray(1, 1).max_value(), 1u);
+  EXPECT_EQ(PackedArray(1, 8).max_value(), 255u);
+  EXPECT_EQ(PackedArray(1, 57).max_value(), (1ULL << 57) - 1);
+}
+
+TEST(PackedArrayTest, SizeInWordsIsLinear) {
+  PackedArray a(1000, 4);  // 4000 bits ~ 63 words + slack
+  EXPECT_LE(a.SizeInWords(), 66u);
+  EXPECT_GE(a.SizeInWords(), 63u);
+}
+
+TEST(PackedArrayTest, FieldsStraddlingWordBoundary) {
+  // With 57-bit fields nearly every field straddles a boundary.
+  PackedArray a(100, 57);
+  for (std::size_t i = 0; i < 100; ++i) a.Set(i, (i * 0x123456789ULL) & a.max_value());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Get(i), (i * 0x123456789ULL) & a.max_value());
+  }
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,141 @@
+// Structure-level tests for RanGroupScan (Algorithm 5) and its ScanSet
+// block layout (Section 3.3.1).
+
+#include "core/ran_group_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+TEST(ScanSetTest, GroupsPartitionAndImagesMatch) {
+  RanGroupScanIntersection alg;
+  Xoshiro256 rng(1);
+  ElemList set = SampleSortedSet(3000, 1 << 22, rng);
+  auto pre = alg.Preprocess(set);
+  const auto& s = As<ScanSet>(*pre);
+  const auto& g = alg.permutation();
+  const auto& fam = alg.hashes();
+  ASSERT_EQ(s.m(), 4);
+  std::uint32_t prev_hi = 0;
+  for (std::uint64_t z = 0; z < s.num_groups(); ++z) {
+    auto [lo, hi] = s.GroupRange(z);
+    ASSERT_EQ(lo, prev_hi);
+    prev_hi = hi;
+    std::vector<Word> expected(4, 0);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      ASSERT_EQ(static_cast<std::uint64_t>(s.gvals()[i]) >>
+                    (g.domain_bits() - s.t()),
+                z);
+      fam.AccumulateImages(s.gvals()[i], expected.data());
+    }
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_EQ(s.Image(z, j), expected[static_cast<std::size_t>(j)])
+          << "z=" << z << " j=" << j;
+    }
+  }
+  EXPECT_EQ(prev_hi, s.size());
+}
+
+TEST(ScanSetTest, ResolutionMatchesPaperFormula) {
+  RanGroupScanIntersection alg;
+  Xoshiro256 rng(2);
+  for (std::size_t n : {0u, 1u, 8u, 9u, 63u, 64u, 65u, 4096u, 100000u}) {
+    ElemList set = SampleSortedSet(n, 1 << 26, rng);
+    auto pre = alg.Preprocess(set);
+    const auto& s = As<ScanSet>(*pre);
+    int expected = n <= 8 ? 0 : CeilLog2((n + 7) / 8);
+    EXPECT_EQ(s.t(), expected) << "n=" << n;
+  }
+}
+
+TEST(ScanSetTest, SpaceMatchesTheorem310Shape) {
+  // Theorem 3.10: O(n(1 + m/sqrt(w))) words.  With 4-byte g-values our
+  // constant is ~0.5 + (m + 0.5)/8 words per element.
+  RanGroupScanIntersection::Options o;
+  o.m = 2;
+  RanGroupScanIntersection alg(o);
+  Xoshiro256 rng(3);
+  ElemList set = SampleSortedSet(100000, 1 << 27, rng);
+  auto pre = alg.Preprocess(set);
+  double words_per_elem = static_cast<double>(pre->SizeInWords()) / 100000.0;
+  EXPECT_LT(words_per_elem, 1.1);
+  EXPECT_GT(words_per_elem, 0.5);
+}
+
+TEST(RanGroupScanTest, VariousM) {
+  Xoshiro256 rng(4);
+  auto lists = GenerateIntersectingSets({2000, 3000}, 37, 1 << 22, rng);
+  ElemList expected;
+  std::set_intersection(lists[0].begin(), lists[0].end(), lists[1].begin(),
+                        lists[1].end(), std::back_inserter(expected));
+  for (int m : {1, 2, 3, 4, 6, 8}) {
+    RanGroupScanIntersection::Options o;
+    o.m = m;
+    RanGroupScanIntersection alg(o);
+    EXPECT_EQ(alg.IntersectLists(lists), expected) << "m=" << m;
+  }
+}
+
+TEST(RanGroupScanTest, RejectsInvalidM) {
+  RanGroupScanIntersection::Options o;
+  o.m = 0;
+  EXPECT_THROW(RanGroupScanIntersection alg(o), std::invalid_argument);
+}
+
+TEST(RanGroupScanTest, ManySetsSharedPrefixMemoization) {
+  // k = 6 exercises the multi-level partial-AND memoization path.
+  Xoshiro256 rng(5);
+  auto lists = GenerateIntersectingSets({100, 200, 400, 800, 1600, 3200}, 11,
+                                        1 << 22, rng);
+  RanGroupScanIntersection alg;
+  ElemList out = alg.IntersectLists(lists);
+  ASSERT_EQ(out.size(), 11u);
+  for (Elem x : out) {
+    for (const auto& l : lists) {
+      ASSERT_TRUE(std::binary_search(l.begin(), l.end(), x));
+    }
+  }
+}
+
+TEST(RanGroupScanTest, SeedChangesStructureNotResult) {
+  Xoshiro256 rng(6);
+  auto lists = GenerateIntersectingSets({500, 700}, 23, 1 << 20, rng);
+  RanGroupScanIntersection::Options o1;
+  o1.seed = 101;
+  RanGroupScanIntersection::Options o2;
+  o2.seed = 202;
+  RanGroupScanIntersection a1(o1);
+  RanGroupScanIntersection a2(o2);
+  EXPECT_EQ(a1.IntersectLists(lists), a2.IntersectLists(lists));
+}
+
+TEST(RanGroupScanTest, SmallUniverseDomain) {
+  // universe_bits smaller than 32 (domain must still cover the values).
+  RanGroupScanIntersection::Options o;
+  o.universe_bits = 16;
+  RanGroupScanIntersection alg(o);
+  Xoshiro256 rng(7);
+  auto lists = GenerateIntersectingSets({300, 400}, 15, 1 << 16, rng);
+  ElemList expected;
+  std::set_intersection(lists[0].begin(), lists[0].end(), lists[1].begin(),
+                        lists[1].end(), std::back_inserter(expected));
+  EXPECT_EQ(alg.IntersectLists(lists), expected);
+}
+
+TEST(RanGroupScanTest, RejectsElementOutsideDomain) {
+  RanGroupScanIntersection::Options o;
+  o.universe_bits = 16;
+  RanGroupScanIntersection alg(o);
+  ElemList bad = {1, 2, 1 << 20};
+  EXPECT_THROW(alg.Preprocess(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,106 @@
+// Algorithm-specific tests for RanGroup (Algorithms 3 & 4).
+
+#include "core/ran_group.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+ElemList GroundTruth(const std::vector<ElemList>& lists) {
+  ElemList acc = lists[0];
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    ElemList next;
+    std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    acc.swap(next);
+  }
+  return acc;
+}
+
+TEST(RanGroupTest, TwoSetOptimalVsSizeDependentAgree) {
+  Xoshiro256 rng(11);
+  auto lists = GenerateIntersectingSets({100, 40000}, 17, 1 << 24, rng);
+  ElemList expected = GroundTruth(lists);
+  RanGroupIntersection::Options balanced;
+  balanced.two_set_optimal = true;
+  RanGroupIntersection::Options sized;
+  sized.two_set_optimal = false;
+  EXPECT_EQ(RanGroupIntersection(balanced).IntersectLists(lists), expected);
+  EXPECT_EQ(RanGroupIntersection(sized).IntersectLists(lists), expected);
+}
+
+TEST(RanGroupTest, ExtremeSkew) {
+  Xoshiro256 rng(12);
+  auto lists = GenerateIntersectingSets({4, 100000}, 2, 1 << 24, rng);
+  RanGroupIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists));
+}
+
+TEST(RanGroupTest, FiveSets) {
+  Xoshiro256 rng(13);
+  auto lists =
+      GenerateIntersectingSets({50, 100, 200, 400, 800}, 7, 1 << 20, rng);
+  RanGroupIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists));
+}
+
+TEST(RanGroupTest, CollidingHashValuesStillCorrect) {
+  // Small universe + many elements => every h-chain holds several elements,
+  // exercising the chain-merge path (I_!= of the Theorem 3.3 proof).
+  Xoshiro256 rng(14);
+  RanGroupIntersection::Options o;
+  o.universe_bits = 14;
+  RanGroupIntersection alg(o);
+  auto lists = GenerateIntersectingSets({3000, 4000}, 123, 1 << 14, rng);
+  EXPECT_EQ(alg.IntersectLists(lists), GroundTruth(lists));
+}
+
+TEST(RanGroupTest, RepeatedQueriesOnSharedStructures) {
+  // Pre-process once, intersect many different combinations (the library's
+  // intended usage pattern).
+  Xoshiro256 rng(15);
+  RanGroupIntersection alg;
+  std::vector<ElemList> lists;
+  std::vector<std::unique_ptr<PreprocessedSet>> pre;
+  for (int i = 0; i < 5; ++i) {
+    lists.push_back(SampleSortedSet(1000 + 500 * static_cast<std::size_t>(i),
+                                    1 << 14, rng));
+    pre.push_back(alg.Preprocess(lists.back()));
+  }
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      std::vector<const PreprocessedSet*> sets = {pre[a].get(), pre[b].get()};
+      ElemList out;
+      alg.Intersect(sets, &out);
+      EXPECT_EQ(out, GroundTruth({lists[a], lists[b]})) << a << "," << b;
+    }
+  }
+}
+
+TEST(RanGroupTest, SingleResolutionModeCorrect) {
+  Xoshiro256 rng(17);
+  RanGroupIntersection::Options o;
+  o.single_resolution = true;
+  RanGroupIntersection alg(o);
+  auto pair2 = GenerateIntersectingSets({300, 5000}, 12, 1 << 22, rng);
+  EXPECT_EQ(alg.IntersectLists(pair2), GroundTruth(pair2));
+  auto triple = GenerateIntersectingSets({100, 200, 300}, 8, 1 << 20, rng);
+  EXPECT_EQ(alg.IntersectLists(triple), GroundTruth(triple));
+}
+
+TEST(RanGroupTest, SingleSetQueryReturnsTheSet) {
+  Xoshiro256 rng(16);
+  ElemList set = SampleSortedSet(500, 1 << 20, rng);
+  RanGroupIntersection alg;
+  EXPECT_EQ(alg.IntersectLists(std::vector<ElemList>{set}), set);
+}
+
+}  // namespace
+}  // namespace fsi

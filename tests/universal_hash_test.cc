@@ -1,0 +1,94 @@
+#include "hash/universal_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace fsi {
+namespace {
+
+TEST(UniversalHashTest, OutputRange) {
+  for (int bits : {1, 4, 6, 16, 32}) {
+    UniversalHash h(bits, 99);
+    std::uint64_t limit = std::uint64_t{1} << bits;
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(h(rng.Next()), limit);
+    }
+    EXPECT_EQ(h.out_bits(), bits);
+  }
+}
+
+TEST(UniversalHashTest, Deterministic) {
+  UniversalHash h1(6, 123);
+  UniversalHash h2(6, 123);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(UniversalHashTest, CollisionProbabilityNearUniversalBound) {
+  // 2-universality: Pr[h(x1) = h(x2)] <= 1/2^d over the family.  Estimate
+  // over many random family members and a fixed pair; the empirical rate
+  // should be within 3x of 1/64 for d = 6 (generous statistical slack).
+  const int kTrials = 20000;
+  SplitMix64 seeds(2024);
+  int collisions = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    WordHash h(seeds.Next());
+    if (h(123456789) == h(987654321)) ++collisions;
+  }
+  double rate = static_cast<double>(collisions) / kTrials;
+  EXPECT_LT(rate, 3.0 / 64);
+  EXPECT_GT(rate, 0.0);  // some collisions must occur at this sample size
+}
+
+TEST(WordHashTest, ImageIsSingleBitOfHashValue) {
+  WordHash h(7);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    int y = h(x);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 64);
+    EXPECT_EQ(h.Image(x), WordBit(y));
+  }
+}
+
+TEST(WordHashTest, ValuesRoughlyUniform) {
+  WordHash h(31337);
+  std::array<int, 64> counts{};
+  const int kSamples = 64 * 1000;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(h(rng.Next()))];
+  }
+  for (int c : counts) {
+    // Expect 1000 per bucket; allow +-40%.
+    EXPECT_GT(c, 600);
+    EXPECT_LT(c, 1400);
+  }
+}
+
+TEST(WordHashFamilyTest, IndependentMembers) {
+  WordHashFamily fam(4, 555);
+  ASSERT_EQ(fam.size(), 4);
+  // Members must not be identical functions.
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    if (fam[0](x) != fam[1](x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(WordHashFamilyTest, AccumulateImagesMatchesMembers) {
+  WordHashFamily fam(3, 77);
+  Word images[3] = {0, 0, 0};
+  fam.AccumulateImages(42, images);
+  fam.AccumulateImages(43, images);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(images[j], fam[j].Image(42) | fam[j].Image(43));
+  }
+}
+
+}  // namespace
+}  // namespace fsi

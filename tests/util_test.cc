@@ -1,0 +1,84 @@
+// Tests for the measurement utilities (timer, statistics accumulators)
+// that the benchmark harness and examples rely on.
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace fsi {
+namespace {
+
+TEST(TimerTest, MonotoneNonNegative) {
+  Timer t;
+  std::int64_t a = t.ElapsedNanos();
+  std::int64_t b = t.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  std::int64_t before = t.ElapsedNanos();
+  t.Reset();
+  EXPECT_LE(t.ElapsedNanos(), before);
+}
+
+TEST(TimerTest, MillisMatchesNanos) {
+  Timer t;
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 0.0);
+}
+
+TEST(SampleStatsTest, EmptyIsZero) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SampleStatsTest, BasicAggregates) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  // Sample standard deviation of the classic example is ~2.138.
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.01);
+}
+
+TEST(SampleStatsTest, PercentileInterpolation) {
+  SampleStats s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.125), 15.0);  // halfway between ranks
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 42.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SampleStatsTest, UnsortedInsertionOrder) {
+  SampleStats s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+}  // namespace
+}  // namespace fsi

@@ -1,0 +1,156 @@
+// Tests for the workload generators: the synthetic generators' exactness
+// guarantees and the simulated-corpus statistics (DESIGN.md §3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/corpus.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+TEST(SampleSortedSetTest, SizeSortedUniqueInRange) {
+  Xoshiro256 rng(51);
+  for (std::size_t n : {0u, 1u, 10u, 1000u, 50000u}) {
+    ElemList set = SampleSortedSet(n, 1 << 20, rng);
+    ASSERT_EQ(set.size(), n);
+    for (std::size_t i = 1; i < set.size(); ++i) {
+      ASSERT_LT(set[i - 1], set[i]);
+    }
+    if (n > 0) ASSERT_LT(set.back(), 1u << 20);
+  }
+}
+
+TEST(SampleSortedSetTest, DensePathExact) {
+  Xoshiro256 rng(52);
+  // n = universe: must return the full universe.
+  ElemList set = SampleSortedSet(1024, 1024, rng);
+  ASSERT_EQ(set.size(), 1024u);
+  for (Elem i = 0; i < 1024; ++i) EXPECT_EQ(set[i], i);
+}
+
+TEST(SampleSortedSetTest, RejectsOversizedRequest) {
+  Xoshiro256 rng(53);
+  EXPECT_THROW(SampleSortedSet(100, 50, rng), std::invalid_argument);
+}
+
+TEST(GenerateIntersectingSetsTest, ExactIntersectionSize) {
+  Xoshiro256 rng(54);
+  for (std::size_t r : {0u, 1u, 17u, 100u}) {
+    auto lists = GenerateIntersectingSets({100, 300, 500}, r, 1 << 20, rng);
+    ASSERT_EQ(lists.size(), 3u);
+    EXPECT_EQ(lists[0].size(), 100u);
+    EXPECT_EQ(lists[1].size(), 300u);
+    EXPECT_EQ(lists[2].size(), 500u);
+    ElemList acc = lists[0];
+    for (std::size_t i = 1; i < lists.size(); ++i) {
+      ElemList next;
+      std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                            lists[i].end(), std::back_inserter(next));
+      acc.swap(next);
+    }
+    EXPECT_EQ(acc.size(), r);
+  }
+}
+
+TEST(GenerateIntersectingSetsTest, PairwiseDisjointBeyondCore) {
+  Xoshiro256 rng(55);
+  auto lists = GenerateIntersectingSets({200, 200}, 50, 1 << 20, rng);
+  ElemList inter;
+  std::set_intersection(lists[0].begin(), lists[0].end(), lists[1].begin(),
+                        lists[1].end(), std::back_inserter(inter));
+  EXPECT_EQ(inter.size(), 50u);
+}
+
+TEST(GenerateIntersectingSetsTest, Validation) {
+  Xoshiro256 rng(56);
+  EXPECT_THROW(GenerateIntersectingSets({10, 20}, 15, 1 << 20, rng),
+               std::invalid_argument);  // r > n1
+  EXPECT_THROW(GenerateIntersectingSets({100, 100}, 0, 150, rng),
+               std::invalid_argument);  // universe too small
+}
+
+TEST(GenerateUniformSetsTest, IndependentDraws) {
+  Xoshiro256 rng(57);
+  auto lists = GenerateUniformSets(3, 1000, 1 << 16, rng);
+  ASSERT_EQ(lists.size(), 3u);
+  for (const auto& l : lists) EXPECT_EQ(l.size(), 1000u);
+  EXPECT_NE(lists[0], lists[1]);
+}
+
+TEST(ZipfDistributionTest, SkewTowardLowRanks) {
+  ZipfDistribution zipf(1000, 1.0);
+  Xoshiro256 rng(58);
+  std::size_t low = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 10) ++low;
+  }
+  // Under Zipf(1.0) over 1000 ranks, the top-10 mass is ~39%.
+  double frac = static_cast<double>(low) / kSamples;
+  EXPECT_GT(frac, 0.30);
+  EXPECT_LT(frac, 0.50);
+}
+
+TEST(SyntheticCorpusTest, PostingListsAreValid) {
+  SyntheticCorpus::Options o;
+  o.num_docs = 1 << 14;
+  o.vocabulary = 200;
+  SyntheticCorpus corpus(o);
+  ASSERT_EQ(corpus.num_terms(), 200u);
+  std::size_t prev_df = SIZE_MAX;
+  for (std::size_t t = 0; t < corpus.num_terms(); ++t) {
+    const ElemList& p = corpus.postings(t);
+    ASSERT_GE(p.size(), o.min_df);
+    for (std::size_t i = 1; i < p.size(); ++i) ASSERT_LT(p[i - 1], p[i]);
+    ASSERT_LT(p.back(), o.num_docs);
+    // Document frequency decreases (weakly) with rank.
+    ASSERT_LE(p.size(), prev_df);
+    prev_df = p.size();
+  }
+}
+
+TEST(QueryWorkloadTest, KeywordDistributionMatchesTargets) {
+  SyntheticCorpus::Options co;
+  co.num_docs = 1 << 14;
+  co.vocabulary = 500;
+  SyntheticCorpus corpus(co);
+  QueryWorkload::Options qo;
+  qo.num_queries = 4000;
+  QueryWorkload workload(corpus, qo);
+  auto stats = workload.ComputeStats(corpus);
+  EXPECT_NEAR(stats.frac2, 0.68, 0.04);
+  EXPECT_NEAR(stats.frac3, 0.23, 0.04);
+  EXPECT_NEAR(stats.frac4, 0.06, 0.02);
+  // Queries produce non-trivial skew and selectivity.
+  EXPECT_GT(stats.mean_ratio_12, 0.0);
+  EXPECT_LT(stats.mean_ratio_12, 1.0);
+  EXPECT_GT(stats.mean_selectivity, 0.0);
+}
+
+TEST(QueryWorkloadTest, QueriesHaveDistinctTerms) {
+  SyntheticCorpus::Options co;
+  co.num_docs = 1 << 12;
+  co.vocabulary = 100;
+  SyntheticCorpus corpus(co);
+  QueryWorkload::Options qo;
+  qo.num_queries = 500;
+  QueryWorkload workload(corpus, qo);
+  for (const Query& q : workload.queries()) {
+    ASSERT_GE(q.size(), 2u);
+    ASSERT_LE(q.size(), 5u);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      ASSERT_LT(q[i], corpus.num_terms());
+      for (std::size_t j = i + 1; j < q.size(); ++j) {
+        ASSERT_NE(q[i], q[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsi
