@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact recipe CI and the ROADMAP use.  Run from the
+# repo root (or anywhere — the script cd's to its own repo).
+#
+#   ./scripts/verify.sh            # Release
+#   BUILD_TYPE=Debug ./scripts/verify.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE=${BUILD_TYPE:-Release}
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j
