@@ -20,7 +20,7 @@ TEST(TimerTest, MonotoneNonNegative) {
 TEST(TimerTest, ResetRestarts) {
   Timer t;
   volatile int sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   (void)sink;
   std::int64_t before = t.ElapsedNanos();
   t.Reset();
