@@ -21,7 +21,9 @@ TEST(SampleSortedSetTest, SizeSortedUniqueInRange) {
     for (std::size_t i = 1; i < set.size(); ++i) {
       ASSERT_LT(set[i - 1], set[i]);
     }
-    if (n > 0) ASSERT_LT(set.back(), 1u << 20);
+    if (n > 0) {
+      ASSERT_LT(set.back(), 1u << 20);
+    }
   }
 }
 
