@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -104,7 +106,13 @@ int main(int argc, char** argv) {
     result = thresh.AtLeast(views, threshold);
     query_ms = q.ElapsedMillis();
   } else {
-    auto algorithm = CreateAlgorithm(algorithm_name);
+    std::unique_ptr<IntersectionAlgorithm> algorithm;
+    try {
+      algorithm = CreateAlgorithm(algorithm_name);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
     Timer pre;
     std::vector<std::unique_ptr<PreprocessedSet>> owned;
     std::vector<const PreprocessedSet*> views;
