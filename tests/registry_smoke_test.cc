@@ -1,0 +1,51 @@
+// Build-health smoke test: every algorithm name the registry recognises
+// must instantiate via CreateAlgorithm() and round-trip a tiny, fully
+// known intersection.  This is deliberately minimal — it is the first
+// test to run after a fresh clone and catches registration or link
+// regressions before the heavyweight property sweeps do.
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "core/intersector.h"
+
+namespace fsi {
+namespace {
+
+std::vector<std::string_view> AllRegisteredNames() {
+  std::vector<std::string_view> names = UncompressedAlgorithmNames();
+  for (auto name : CompressedAlgorithmNames()) names.push_back(name);
+  // Aliases accepted by CreateAlgorithm() but absent from both lists.
+  names.push_back("RanGroupScan2");
+  return names;
+}
+
+TEST(RegistrySmokeTest, EveryNameInstantiatesAndRoundTrips) {
+  const std::vector<ElemList> lists = {{1, 3, 5, 7, 9, 11, 100, 200},
+                                       {2, 3, 4, 7, 8, 11, 200, 300}};
+  const ElemList expected = {3, 7, 11, 200};
+
+  for (auto name : AllRegisteredNames()) {
+    SCOPED_TRACE(std::string(name));
+    auto alg = CreateAlgorithm(name);
+    ASSERT_NE(alg, nullptr);
+    EXPECT_FALSE(alg->name().empty());
+    EXPECT_EQ(alg->IntersectLists(lists), expected);
+  }
+}
+
+TEST(RegistrySmokeTest, EmptyIntersectionRoundTrips) {
+  const std::vector<ElemList> lists = {{1, 4, 9}, {2, 5, 10}};
+
+  for (auto name : AllRegisteredNames()) {
+    SCOPED_TRACE(std::string(name));
+    auto alg = CreateAlgorithm(name);
+    ASSERT_NE(alg, nullptr);
+    EXPECT_TRUE(alg->IntersectLists(lists).empty());
+  }
+}
+
+}  // namespace
+}  // namespace fsi
