@@ -11,12 +11,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/engine.h"
+#include "api/registry.h"
 #include "core/algorithm.h"
-#include "core/intersector.h"
+#include "core/intersector.h"  // raw CreateAlgorithm for preprocessing benches
 
 namespace fsi::bench {
 
@@ -26,37 +28,37 @@ inline bool FullScale() {
   return env != nullptr && env[0] == '1';
 }
 
-/// A query ready to run: the algorithm, its preprocessed sets, and views.
+/// A query ready to run: the engine, its owning prepared-set handles, and
+/// a prebuilt reusable Query (constructed once so the timed loop measures
+/// only the intersection, exactly like the paper's harness).
 struct PreparedQuery {
-  std::unique_ptr<IntersectionAlgorithm> algorithm;
-  std::vector<std::unique_ptr<PreprocessedSet>> owned;
-  std::vector<const PreprocessedSet*> views;
+  Engine engine;
+  std::vector<PreparedSet> sets;
+  mutable fsi::Query query;
 
   /// Computes the result *set* (order unspecified) — what the paper times;
   /// see IntersectionAlgorithm::IntersectUnordered.
-  void Run(ElemList* out) const {
-    out->clear();
-    algorithm->IntersectUnordered(views, out);
-  }
+  void Run(ElemList* out) const { query.ExecuteInto(out); }
 
   std::size_t StructureWords() const {
     std::size_t words = 0;
-    for (const auto& s : owned) words += s->SizeInWords();
+    for (const PreparedSet& s : sets) words += s.SizeInWords();
     return words;
   }
 };
 
-/// Builds a PreparedQuery for `name` over `lists`.
-inline PreparedQuery Prepare(std::string_view name,
+/// Builds a PreparedQuery for the registry spec `spec` (a name, optionally
+/// with options: "RanGroupScan:m=2") over `lists`.
+inline PreparedQuery Prepare(std::string_view spec,
                              const std::vector<ElemList>& lists,
-                             std::uint64_t seed = 0x6a09e667f3bcc908ULL) {
-  PreparedQuery q;
-  q.algorithm = CreateAlgorithm(name, seed);
-  for (const ElemList& l : lists) {
-    q.owned.push_back(q.algorithm->Preprocess(l));
-    q.views.push_back(q.owned.back().get());
-  }
-  return q;
+                             std::uint64_t seed = kDefaultAlgorithmSeed) {
+  Engine engine(spec, {.seed = seed});
+  std::vector<PreparedSet> sets;
+  sets.reserve(lists.size());
+  for (const ElemList& l : lists) sets.push_back(engine.Prepare(l));
+  fsi::Query query = engine.Query(sets);
+  query.Unordered();
+  return PreparedQuery{std::move(engine), std::move(sets), std::move(query)};
 }
 
 /// google-benchmark body: repeatedly runs the prepared query.  Reports the

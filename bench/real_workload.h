@@ -72,7 +72,7 @@ class RealWorkloadDriver {
       auto alg = CreateAlgorithm(name);
       // Pre-process each distinct queried term once.
       std::map<std::size_t, std::unique_ptr<PreprocessedSet>> structures;
-      for (const Query& q : workload_->queries()) {
+      for (const TermQuery& q : workload_->queries()) {
         for (std::size_t term : q) {
           if (!structures.count(term)) {
             structures[term] = alg->Preprocess(corpus_->postings(term));
@@ -82,7 +82,7 @@ class RealWorkloadDriver {
       std::vector<double>& per_query = times[name];
       per_query.reserve(workload_->queries().size());
       ElemList out;
-      for (const Query& q : workload_->queries()) {
+      for (const TermQuery& q : workload_->queries()) {
         std::vector<const PreprocessedSet*> sets;
         for (std::size_t term : q) sets.push_back(structures[term].get());
         Timer timer;

@@ -32,7 +32,7 @@ int main() {
     auto alg = CreateAlgorithm(name);
     double words = 0;
     std::map<std::size_t, bool> seen;
-    for (const Query& q : driver.workload().queries()) {
+    for (const TermQuery& q : driver.workload().queries()) {
       for (std::size_t term : q) {
         if (!seen[term]) {
           seen[term] = true;

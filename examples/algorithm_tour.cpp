@@ -4,11 +4,12 @@
 //
 //   ./build/examples/algorithm_tour
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/intersector.h"
+#include "fsi.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/synthetic.h"
@@ -20,24 +21,23 @@ void RunScenario(const char* title, const std::vector<fsi::ElemList>& lists) {
   std::printf("\n%s\n", title);
   std::printf("%-22s %10s %12s %12s\n", "algorithm", "time(us)", "result",
               "struct(KiB)");
-  for (auto name : UncompressedAlgorithmNames()) {
-    auto alg = CreateAlgorithm(name);
-    if (lists.size() > alg->max_query_sets()) continue;
-    std::vector<std::unique_ptr<PreprocessedSet>> owned;
-    std::vector<const PreprocessedSet*> views;
+  for (auto name : AlgorithmRegistry::Global().Names(/*compressed=*/false,
+                                                     /*include_hidden=*/false)) {
+    Engine engine(name);
+    if (lists.size() > engine.max_query_sets()) continue;
+    std::vector<PreparedSet> prepared;
     std::size_t words = 0;
     for (const auto& l : lists) {
-      owned.push_back(alg->Preprocess(l));
-      words += owned.back()->SizeInWords();
-      views.push_back(owned.back().get());
+      prepared.push_back(engine.Prepare(l));
+      words += prepared.back().SizeInWords();
     }
-    // Median of 5 runs.
+    // One reusable query, median-of-5 timing.
+    Query query = engine.Query(prepared);
     double best = 1e18;
     ElemList out;
     for (int rep = 0; rep < 5; ++rep) {
       Timer t;
-      out.clear();
-      alg->Intersect(views, &out);
+      query.ExecuteInto(&out);
       best = std::min(best, t.ElapsedMillis() * 1000.0);
     }
     std::printf("%-22s %10.1f %12zu %12.1f\n", std::string(name).c_str(),

@@ -5,11 +5,16 @@
 // them with the chosen algorithm, intersects, and prints the result (or
 // just its size and timing with --stats).
 //
-//   intersect_cli [--algorithm NAME] [--stats] [--threshold T] FILE...
+//   intersect_cli [--algorithm SPEC] [--stats] [--threshold T] FILE...
+//   intersect_cli --list
+//
+// SPEC is a registry spec: a name, optionally with options —
+// "RanGroupScan:m=2,w=4".  --list prints every registered algorithm.
 //
 // Examples:
 //   ./build/examples/intersect_cli a.txt b.txt
 //   ./build/examples/intersect_cli --algorithm Merge --stats a.txt b.txt c.txt
+//   ./build/examples/intersect_cli --algorithm RanGroupScan:m=2 a.txt b.txt
 //   ./build/examples/intersect_cli --threshold 2 a.txt b.txt c.txt
 
 #include <cstdio>
@@ -20,9 +25,9 @@
 #include <string>
 #include <vector>
 
-#include "core/intersector.h"
 #include "core/ran_group_scan.h"
 #include "core/threshold.h"
+#include "fsi.h"
 #include "util/timer.h"
 
 namespace {
@@ -49,12 +54,28 @@ fsi::ElemList ReadSetFile(const std::string& path) {
   return set;
 }
 
+void ListAlgorithms() {
+  std::printf("%-22s %-10s %-6s %s\n", "name", "structure", "max-k",
+              "options (always: seed=<int>)");
+  for (const fsi::AlgorithmDescriptor* d :
+       fsi::AlgorithmRegistry::Global().Descriptors(/*include_hidden=*/true)) {
+    std::string max_k = d->max_query_sets == SIZE_MAX
+                            ? "any"
+                            : std::to_string(d->max_query_sets);
+    std::printf("%-22s %-10s %-6s %s\n", d->name.c_str(),
+                d->compressed ? "compressed" : "plain", max_k.c_str(),
+                d->options_help.empty() ? "-" : d->options_help.c_str());
+  }
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: intersect_cli [--algorithm NAME] [--stats] "
+               "usage: intersect_cli [--algorithm SPEC] [--stats] "
                "[--threshold T] FILE...\n"
-               "  NAME: Merge, SvS, RanGroupScan, HashBin, Hybrid, ... "
-               "(default Hybrid)\n"
+               "       intersect_cli --list\n"
+               "  SPEC: registry spec, e.g. Merge, Hybrid (default), or\n"
+               "        with options: RanGroupScan:m=2,w=4\n"
+               "  --list: print every registered algorithm and its options\n"
                "  --threshold T: elements in at least T of the input sets "
                "(forces RanGroupScan)\n");
   std::exit(1);
@@ -64,14 +85,17 @@ void Usage() {
 
 int main(int argc, char** argv) {
   using namespace fsi;
-  std::string algorithm_name = "Hybrid";
+  std::string algorithm_spec = "Hybrid";
   bool stats = false;
   std::size_t threshold = 0;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
-      algorithm_name = argv[++i];
+      algorithm_spec = argv[++i];
+    } else if (arg == "--list") {
+      ListAlgorithms();
+      return 0;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--threshold" && i + 1 < argc) {
@@ -91,14 +115,25 @@ int main(int argc, char** argv) {
   ElemList result;
   double preprocess_ms = 0;
   double query_ms = 0;
+  std::size_t elements_scanned = 0;
   if (threshold > 0) {
+    // t-threshold queries run on the raw RanGroupScan structures.  The
+    // raw Preprocess path skips validation in Release, and these files
+    // come from outside — check them explicitly.
     RanGroupScanIntersection scan;
     Timer pre;
     std::vector<std::unique_ptr<PreprocessedSet>> owned;
     std::vector<const PreprocessedSet*> views;
-    for (const auto& s : sets) {
-      owned.push_back(scan.Preprocess(s));
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      try {
+        CheckSortedUnique(sets[i], files[i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      owned.push_back(scan.Preprocess(sets[i]));
       views.push_back(owned.back().get());
+      elements_scanned += sets[i].size();
     }
     preprocess_ms = pre.ElapsedMillis();
     ThresholdIntersection thresh(&scan);
@@ -106,32 +141,36 @@ int main(int argc, char** argv) {
     result = thresh.AtLeast(views, threshold);
     query_ms = q.ElapsedMillis();
   } else {
-    std::unique_ptr<IntersectionAlgorithm> algorithm;
+    // Validate operator input even in Release: files come from outside.
+    std::unique_ptr<Engine> engine;
     try {
-      algorithm = CreateAlgorithm(algorithm_name);
+      engine = std::make_unique<Engine>(
+          algorithm_spec, EngineOptions{.validation = ValidationPolicy::kFull});
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
     Timer pre;
-    std::vector<std::unique_ptr<PreprocessedSet>> owned;
-    std::vector<const PreprocessedSet*> views;
-    for (const auto& s : sets) {
-      owned.push_back(algorithm->Preprocess(s));
-      views.push_back(owned.back().get());
+    std::vector<PreparedSet> prepared;
+    try {
+      for (const auto& s : sets) prepared.push_back(engine->Prepare(s));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
     }
     preprocess_ms = pre.ElapsedMillis();
-    Timer q;
-    algorithm->Intersect(views, &result);
-    query_ms = q.ElapsedMillis();
+    Query query = engine->Query(prepared);
+    QueryStats qs = query.ExecuteInto(&result);
+    query_ms = qs.wall_micros / 1000.0;
+    elements_scanned = qs.elements_scanned;
   }
 
   if (stats) {
     std::fprintf(stderr,
-                 "sets: %zu  result: %zu elements  preprocess: %.3f ms  "
-                 "query: %.3f ms  total: %.3f ms\n",
-                 sets.size(), result.size(), preprocess_ms, query_ms,
-                 total.ElapsedMillis());
+                 "sets: %zu  result: %zu elements  scanned: %zu elements  "
+                 "preprocess: %.3f ms  query: %.3f ms  total: %.3f ms\n",
+                 sets.size(), result.size(), elements_scanned, preprocess_ms,
+                 query_ms, total.ElapsedMillis());
   } else {
     for (Elem x : result) std::printf("%u\n", x);
   }

@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "core/intersector.h"
+#include "fsi.h"
 
 int main() {
   using namespace fsi;
@@ -15,28 +15,43 @@ int main() {
   ElemList rock = {2, 3, 5, 8, 13, 21, 34, 55, 89, 144};
   ElemList jazz = {1, 2, 4, 8, 16, 32, 64, 128};
 
-  // Pick an algorithm.  "Hybrid" is the recommended default: it switches
-  // between RanGroupScan (balanced sizes) and HashBin (skewed sizes) per
-  // query, as the paper suggests (Section 3.4).
-  auto algorithm = CreateAlgorithm("Hybrid");
+  // Pick an algorithm by registry spec.  "Hybrid" is the recommended
+  // default: it switches between RanGroupScan (balanced sizes) and HashBin
+  // (skewed sizes) per query, as the paper suggests (Section 3.4).
+  // Options ride along in the spec, e.g. "RanGroupScan:m=2,w=4".
+  Engine engine("Hybrid");
 
-  // Pre-processing happens once per set (think: index build time)...
-  auto rock_pre = algorithm->Preprocess(rock);
-  auto jazz_pre = algorithm->Preprocess(jazz);
+  // Pre-processing happens once per set (think: index build time).  The
+  // returned PreparedSet owns its structure *and* a reference to the
+  // engine's algorithm — no lifetime rules to remember.
+  PreparedSet rock_pre = engine.Prepare(rock);
+  PreparedSet jazz_pre = engine.Prepare(jazz);
 
   // ...queries reuse the pre-processed structures.
-  std::vector<const PreprocessedSet*> query = {rock_pre.get(),
-                                               jazz_pre.get()};
-  ElemList both;
-  algorithm->Intersect(query, &both);
+  ElemList both = engine.Query({&rock_pre, &jazz_pre}).Materialize();
 
   std::printf("documents tagged rock AND jazz:");
   for (Elem doc : both) std::printf(" %u", doc);
   std::printf("\n");  // expected: 2 8
 
-  // One-liner for ad-hoc use (pre-processes internally):
-  ElemList same = algorithm->IntersectLists(
-      std::vector<ElemList>{rock, jazz});
-  std::printf("one-liner agrees: %s\n", same == both ? "yes" : "no");
+  // Count-only and limited queries skip output the caller doesn't want
+  // (the intersection itself still runs in full).
+  std::size_t count = engine.Query({&rock_pre, &jazz_pre}).Count();
+  ElemList top1 = engine.Query({&rock_pre, &jazz_pre}).Limit(1).Materialize();
+  std::printf("count-only: %zu matches, first match: %u\n", count, top1[0]);
+
+  // Visitor sink: consume results without receiving a vector.
+  std::printf("visited:");
+  engine.Query({&rock_pre, &jazz_pre}).Visit([](Elem doc) {
+    std::printf(" %u", doc);
+  });
+  std::printf("\n");
+
+  // Per-query stats come with every execution.
+  fsi::Query query = engine.Query({&rock_pre, &jazz_pre});
+  ElemList same = query.Materialize();
+  std::printf("one-liner agrees: %s  (scanned %zu elements in %.1f us)\n",
+              same == both ? "yes" : "no", query.stats().elements_scanned,
+              query.stats().wall_micros);
   return 0;
 }

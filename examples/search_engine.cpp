@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/intersector.h"
+#include "fsi.h"
 #include "index/inverted_index.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -33,9 +33,8 @@ int main() {
   QueryWorkload workload(corpus, qo);
 
   // Two engines over the same corpus.  Terms are named "t<rank>".
-  for (const char* engine : {"Merge", "Hybrid"}) {
-    auto algorithm = CreateAlgorithm(engine);
-    InvertedIndex index(algorithm.get());
+  for (const char* spec : {"Merge", "Hybrid"}) {
+    InvertedIndex index{Engine(spec)};
     // Feed documents: invert the postings into per-document term lists.
     std::vector<std::vector<std::string>> docs(corpus.num_docs());
     for (std::size_t t = 0; t < corpus.num_terms(); ++t) {
@@ -52,21 +51,24 @@ int main() {
 
     SampleStats latency;
     std::size_t total_results = 0;
-    for (const Query& q : workload.queries()) {
+    std::size_t total_scanned = 0;
+    for (const TermQuery& q : workload.queries()) {
       std::vector<std::string> terms;
       for (std::size_t t : q) terms.push_back("t" + std::to_string(t));
-      Timer timer;
-      ElemList results = index.Query(terms);
-      latency.Add(timer.ElapsedMillis() * 1000.0);  // microseconds
+      QueryStats stats;
+      ElemList results = index.Query(terms, &stats);
+      latency.Add(stats.wall_micros);
       total_results += results.size();
+      total_scanned += stats.elements_scanned;
     }
     std::printf(
         "%-7s index: %6.0f ms build, %5.1f MiB | query latency: "
-        "mean %7.1f us, p95 %7.1f us, max %8.1f us | %zu results\n",
-        engine, build_ms,
+        "mean %7.1f us, p95 %7.1f us, max %8.1f us | %zu results, "
+        "%.1f M elements scanned\n",
+        spec, build_ms,
         static_cast<double>(index.SizeInWords()) * 8.0 / (1 << 20),
         latency.Mean(), latency.Percentile(0.95), latency.Max(),
-        total_results);
+        total_results, static_cast<double>(total_scanned) * 1e-6);
   }
   return 0;
 }

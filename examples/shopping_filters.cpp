@@ -8,7 +8,9 @@
 // usually orders of magnitude smaller than the smallest filter list ("for
 // 94% of queries the full intersection was at least one order of magnitude
 // smaller than the document frequency of the least frequent keyword"), and
-// group filtering exploits exactly that.
+// group filtering exploits exactly that.  Facet *counts* (the numbers next
+// to each filter checkbox) use the count-only sink — no caller-visible
+// result vector.
 //
 //   ./build/examples/shopping_filters
 
@@ -17,9 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "core/intersector.h"
+#include "fsi.h"
 #include "util/rng.h"
-#include "util/timer.h"
 
 int main() {
   using namespace fsi;
@@ -54,10 +55,10 @@ int main() {
     }
   }
 
-  auto algorithm = CreateAlgorithm("Hybrid");
-  std::map<std::string, std::unique_ptr<PreprocessedSet>> structures;
+  Engine engine("Hybrid");
+  std::map<std::string, PreparedSet> structures;
   for (auto& [value, list] : postings) {
-    structures[value] = algorithm->Preprocess(list);
+    structures[value] = engine.Prepare(list);
   }
 
   std::vector<std::vector<std::string>> filter_queries = {
@@ -69,20 +70,29 @@ int main() {
   std::printf("%-55s %10s %10s %9s\n", "filter", "min-list", "matches",
               "time(us)");
   for (const auto& q : filter_queries) {
-    std::vector<const PreprocessedSet*> sets;
+    std::vector<const PreparedSet*> sets;
     std::string label;
     std::size_t min_list = SIZE_MAX;
     for (const std::string& f : q) {
-      sets.push_back(structures[f].get());
-      min_list = std::min(min_list, structures[f]->size());
+      sets.push_back(&structures[f]);
+      min_list = std::min(min_list, structures[f].size());
       if (!label.empty()) label += " & ";
       label += f;
     }
-    Timer timer;
-    ElemList matches;
-    algorithm->Intersect(sets, &matches);
+    // Facet counting needs only the cardinality: count-only, unordered.
+    Query query = engine.Query(sets);
+    std::size_t matches = query.Unordered().Count();
     std::printf("%-55s %10zu %10zu %9.1f\n", label.c_str(), min_list,
-                matches.size(), timer.ElapsedMillis() * 1000.0);
+                matches, query.stats().wall_micros);
   }
+
+  // A "show first page" query: materialize at most 10 product ids.
+  PreparedSet& acme = structures["brand=acme"];
+  PreparedSet& today = structures["ships=today"];
+  ElemList page = engine.Query({&acme, &today}).Limit(10).Materialize();
+  std::printf("\nfirst page of brand=acme & ships=today (%zu shown):",
+              page.size());
+  for (Elem p : page) std::printf(" %u", p);
+  std::printf("\n");
   return 0;
 }

@@ -1,0 +1,125 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "api/registry.h"
+#include "util/timer.h"
+
+namespace fsi {
+
+ElemList Query::Materialize() {
+  ElemList out;
+  ExecuteInto(&out);
+  return out;
+}
+
+QueryStats Query::ExecuteInto(ElemList* out) {
+  Timer timer;
+  out->clear();
+  if (!sets_.empty()) {
+    if (ordered_) {
+      algorithm_->Intersect(sets_, out);
+    } else {
+      algorithm_->IntersectUnordered(sets_, out);
+    }
+  }
+  if (limit_ < out->size()) out->resize(limit_);
+  stats_.result_size = out->size();
+  stats_.wall_micros = timer.ElapsedMillis() * 1000.0;
+  return stats_;
+}
+
+std::size_t Query::Count() {
+  ExecuteInto(&scratch_);
+  return stats_.result_size;
+}
+
+QueryStats Query::Execute() {
+  ExecuteInto(&scratch_);
+  if (count_only_) scratch_.clear();
+  return stats_;
+}
+
+Engine::Engine(std::string_view spec, EngineOptions options)
+    : algorithm_(AlgorithmRegistry::Global().Create(spec, options.seed)),
+      validate_(ValidationEnabled(options.validation)) {}
+
+Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
+               EngineOptions options)
+    : algorithm_(std::move(algorithm)),
+      validate_(ValidationEnabled(options.validation)) {
+  if (algorithm_ == nullptr) {
+    throw std::invalid_argument("Engine: null algorithm");
+  }
+}
+
+PreparedSet Engine::Prepare(std::span<const Elem> set) const {
+  if (validate_) CheckSortedUnique(set, algorithm_->name());
+  return PreparedSet(algorithm_, std::shared_ptr<const PreprocessedSet>(
+                                     algorithm_->Preprocess(set)));
+}
+
+fsi::Query Engine::Query(
+    std::initializer_list<const PreparedSet*> sets) const {
+  return MakeQuery(std::span<const PreparedSet* const>(sets.begin(),
+                                                       sets.size()));
+}
+
+fsi::Query Engine::Query(std::span<const PreparedSet* const> sets) const {
+  return MakeQuery(sets);
+}
+
+fsi::Query Engine::Query(std::span<const PreparedSet> sets) const {
+  std::vector<const PreparedSet*> pointers;
+  pointers.reserve(sets.size());
+  for (const PreparedSet& s : sets) pointers.push_back(&s);
+  return MakeQuery(pointers);
+}
+
+fsi::Query Engine::MakeQuery(std::span<const PreparedSet* const> sets) const {
+  if (sets.size() > algorithm_->max_query_sets()) {
+    throw std::invalid_argument(
+        std::string(algorithm_->name()) + ": query over " +
+        std::to_string(sets.size()) + " sets exceeds max_query_sets() == " +
+        std::to_string(algorithm_->max_query_sets()));
+  }
+  std::vector<const PreprocessedSet*> views;
+  std::vector<std::shared_ptr<const PreprocessedSet>> retained;
+  views.reserve(sets.size());
+  retained.reserve(sets.size());
+  QueryStats base;
+  base.num_sets = sets.size();
+  for (const PreparedSet* s : sets) {
+    if (s == nullptr || s->empty_handle()) {
+      throw std::invalid_argument(std::string(algorithm_->name()) +
+                                  ": query over an empty PreparedSet handle");
+    }
+    if (s->algorithm_.get() != algorithm_.get()) {
+      throw std::invalid_argument(
+          "Engine(" + std::string(algorithm_->name()) +
+          "): PreparedSet was built by a different engine (algorithm '" +
+          std::string(s->algorithm_name()) +
+          "'); structures are not interchangeable across engines");
+    }
+    views.push_back(s->set_.get());
+    retained.push_back(s->set_);
+    base.elements_scanned += s->set_->size();
+    std::uint64_t groups = s->set_->NumGroups();
+    if (groups > 0) {
+      base.groups_probed = (base.groups_probed == 0)
+                               ? groups
+                               : std::min(base.groups_probed, groups);
+    }
+  }
+  return fsi::Query(algorithm_, std::move(views), std::move(retained), base);
+}
+
+ElemList Engine::IntersectLists(std::span<const ElemList> lists) const {
+  std::vector<PreparedSet> prepared;
+  prepared.reserve(lists.size());
+  for (const ElemList& list : lists) prepared.push_back(Prepare(list));
+  return Query(prepared).Materialize();
+}
+
+}  // namespace fsi

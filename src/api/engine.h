@@ -1,0 +1,263 @@
+// The production entry point: Engine, PreparedSet and Query.
+//
+// The paper's framework splits a one-time preprocessing stage from an
+// online stage intersecting k preprocessed sets.  The raw algorithm API
+// (core/algorithm.h) exposes that split literally — `PreprocessedSet*`
+// spans, downcasts inside each algorithm, and non-owning lifetime rules.
+// This layer wraps it in owning, checked handles:
+//
+//   fsi::Engine engine("RanGroupScan:m=2");          // registry spec
+//   fsi::PreparedSet a = engine.Prepare(list_a);     // owns its structure
+//   fsi::PreparedSet b = engine.Prepare(list_b);
+//   fsi::ElemList both =
+//       engine.Query({&a, &b}).Materialize();        // sorted result
+//   std::size_t n = engine.Query({&a, &b}).Limit(10).Count();
+//   engine.Query({&a, &b}).Unordered().Visit([](fsi::Elem e) { ... });
+//
+// Guarantees the raw API cannot give:
+//  * A PreparedSet keeps its algorithm alive (shared ownership), so the
+//    structure can never outlive the hash functions it was built with.
+//  * Using a PreparedSet with an Engine other than the one that built it
+//    is a checked std::invalid_argument, not undefined behaviour — the
+//    old `static_cast` downcast footgun.
+//  * Queries exceeding the algorithm's arity limit (IntGroup: k == 2)
+//    are rejected up front.
+//  * Input validation is governed by an explicit ValidationPolicy
+//    (full O(n) checking on by default in Debug, off in Release).
+//
+// Thread-safety: a const Engine and its PreparedSets may be shared across
+// threads.  Query objects are per-thread values: build one per query (or
+// reuse one per thread — terminals may be invoked repeatedly).
+
+#ifndef FSI_API_ENGINE_H_
+#define FSI_API_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace fsi {
+
+/// Governs whether Prepare() runs the full O(n) sorted/duplicate-free
+/// input validation.  kDefault resolves per build type: enabled in Debug,
+/// disabled in Release (where validating every posting list on index
+/// build would cost a full extra pass per set).
+enum class ValidationPolicy {
+  kDefault,
+  kFull,  // always validate, any build type
+  kOff,   // never validate (caller guarantees sorted, duplicate-free input)
+};
+
+/// Resolves a policy against the build type.
+constexpr bool ValidationEnabled(ValidationPolicy policy) {
+#ifdef NDEBUG
+  return policy == ValidationPolicy::kFull;
+#else
+  return policy != ValidationPolicy::kOff;
+#endif
+}
+
+/// Per-query measurements, available from Query::stats() after a terminal
+/// (Materialize / Count / Visit / Execute) has run.
+struct QueryStats {
+  /// Number of input sets (k).
+  std::size_t num_sets = 0;
+  /// Total elements across the input structures — the data volume the
+  /// query touches in the worst case.
+  std::size_t elements_scanned = 0;
+  /// Groups in the coarsest grouped input structure — an upper bound on
+  /// the group combinations the randomized-partition algorithms probe.
+  /// 0 when the algorithm builds no group decomposition.
+  std::uint64_t groups_probed = 0;
+  /// Result-set size (after any Limit).
+  std::size_t result_size = 0;
+  /// Wall time of the last terminal, in microseconds.
+  double wall_micros = 0.0;
+};
+
+/// A value-semantic handle owning one preprocessed set together with a
+/// shared reference to the algorithm that built it.  Copyable (copies
+/// share the immutable structure); cheap to move.  A default-constructed
+/// handle is empty and rejected by Engine::Query.
+class PreparedSet {
+ public:
+  PreparedSet() = default;
+
+  bool empty_handle() const { return set_ == nullptr; }
+  /// Number of elements in the underlying set.
+  std::size_t size() const { return set_ ? set_->size() : 0; }
+  /// Structure footprint in 64-bit words.
+  std::size_t SizeInWords() const { return set_ ? set_->SizeInWords() : 0; }
+  /// Name of the algorithm that built the structure ("" when empty).
+  std::string_view algorithm_name() const {
+    return algorithm_ ? algorithm_->name() : std::string_view();
+  }
+  /// Escape hatch to the raw structure (nullptr when empty).
+  const PreprocessedSet* raw() const { return set_.get(); }
+
+ private:
+  friend class Engine;
+  PreparedSet(std::shared_ptr<const IntersectionAlgorithm> algorithm,
+              std::shared_ptr<const PreprocessedSet> set)
+      : algorithm_(std::move(algorithm)), set_(std::move(set)) {}
+
+  std::shared_ptr<const IntersectionAlgorithm> algorithm_;
+  std::shared_ptr<const PreprocessedSet> set_;
+};
+
+/// A fluent, self-contained query: holds shared ownership of everything it
+/// needs, so it stays valid even if the Engine and the PreparedSet handles
+/// it was built from are destroyed first.
+///
+/// Builders: Unordered(), Limit(n), CountOnly().  Terminals: Materialize()
+/// (sorted unless Unordered), ExecuteInto() (allocation-free hot path),
+/// Count(), Visit(fn), Execute().  Terminals may be called repeatedly;
+/// each run refreshes stats().
+class Query {
+ public:
+  /// Result in unspecified order — skips the O(r log r) sort the paper's
+  /// partition-based algorithms would otherwise pay (Figure 5 regime).
+  Query& Unordered() {
+    ordered_ = false;
+    return *this;
+  }
+  /// Keep at most `n` result elements (the first n in document-id order
+  /// for ordered queries; an arbitrary n otherwise).
+  Query& Limit(std::size_t n) {
+    limit_ = n;
+    return *this;
+  }
+  /// Declares that only stats().result_size is wanted; Execute() then
+  /// discards elements.  Equivalent shortcut: Count().
+  Query& CountOnly() {
+    count_only_ = true;
+    return *this;
+  }
+
+  /// Runs the intersection and returns the result elements.
+  ElemList Materialize();
+
+  /// Hot path: runs the intersection into `*out` (cleared first) and
+  /// returns the stats.  No allocation beyond `out`'s capacity growth.
+  QueryStats ExecuteInto(ElemList* out);
+
+  /// Count-only sink: the result-set size (after Limit) without handing
+  /// out elements; reuses an internal scratch buffer across runs.
+  std::size_t Count();
+
+  /// Visitor sink: invokes `visit(Elem)` per result element without
+  /// materializing a caller-owned vector.  A visitor returning bool can
+  /// stop early by returning false.  Returns the number visited.
+  template <typename Visitor>
+  std::size_t Visit(Visitor&& visit) {
+    ExecuteInto(&scratch_);
+    std::size_t visited = 0;
+    for (Elem e : scratch_) {
+      if constexpr (std::is_convertible_v<
+                        decltype(visit(std::declval<Elem>())), bool>) {
+        ++visited;
+        if (!visit(e)) break;
+      } else {
+        visit(e);
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  /// Generic terminal for fluent chains ending in CountOnly(): runs the
+  /// query and returns the stats.
+  QueryStats Execute();
+
+  /// Stats of the most recent terminal run (structural fields — num_sets,
+  /// elements_scanned, groups_probed — are valid immediately).
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  friend class Engine;
+  Query(std::shared_ptr<const IntersectionAlgorithm> algorithm,
+        std::vector<const PreprocessedSet*> sets,
+        std::vector<std::shared_ptr<const PreprocessedSet>> retained,
+        QueryStats base)
+      : algorithm_(std::move(algorithm)),
+        sets_(std::move(sets)),
+        retained_(std::move(retained)),
+        stats_(base) {}
+
+  std::shared_ptr<const IntersectionAlgorithm> algorithm_;
+  std::vector<const PreprocessedSet*> sets_;
+  std::vector<std::shared_ptr<const PreprocessedSet>> retained_;
+  bool ordered_ = true;
+  std::size_t limit_ = SIZE_MAX;
+  bool count_only_ = false;
+  ElemList scratch_;  // reused by the Count/Visit/Execute sinks
+  QueryStats stats_;
+};
+
+/// Construction options for Engine.
+struct EngineOptions {
+  std::uint64_t seed = kDefaultAlgorithmSeed;
+  ValidationPolicy validation = ValidationPolicy::kDefault;
+};
+
+/// A thread-safe intersection engine: one algorithm instance (built from a
+/// registry spec or adopted), input validation policy, prepared-set
+/// construction and query building.  Copyable — copies share the same
+/// algorithm instance, so their PreparedSets are interchangeable.
+class Engine {
+ public:
+  /// Builds the engine from a registry spec, e.g. "Hybrid" or
+  /// "RanGroupScan:m=2,w=4".  Throws std::invalid_argument for unknown
+  /// names or malformed options.
+  explicit Engine(std::string_view spec, EngineOptions options = {});
+
+  /// Adopts an already-constructed algorithm (e.g. one with custom
+  /// Options structs not expressible as a spec string).
+  explicit Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
+                  EngineOptions options = {});
+
+  /// Preprocesses one sorted, duplicate-free set into an owning handle.
+  /// Runs full input validation when the ValidationPolicy enables it and
+  /// throws std::invalid_argument on invalid input.
+  PreparedSet Prepare(std::span<const Elem> set) const;
+  PreparedSet Prepare(std::initializer_list<Elem> set) const {
+    return Prepare(std::span<const Elem>(set.begin(), set.size()));
+  }
+
+  /// Builds a query over prepared sets.  Every handle must be non-empty
+  /// and built by this engine (or a copy of it); violations throw
+  /// std::invalid_argument.  An empty query materializes to an empty
+  /// result.
+  fsi::Query Query(std::initializer_list<const PreparedSet*> sets) const;
+  fsi::Query Query(std::span<const PreparedSet* const> sets) const;
+  fsi::Query Query(std::span<const PreparedSet> sets) const;
+
+  /// Convenience one-shot: prepare and intersect plain lists.
+  ElemList IntersectLists(std::span<const ElemList> lists) const;
+
+  std::string_view algorithm_name() const { return algorithm_->name(); }
+  const IntersectionAlgorithm& algorithm() const { return *algorithm_; }
+  /// Maximum query arity of the underlying algorithm.
+  std::size_t max_query_sets() const { return algorithm_->max_query_sets(); }
+  /// Whether Prepare() validates input (policy resolved per build type).
+  bool validation_enabled() const { return validate_; }
+
+ private:
+  fsi::Query MakeQuery(std::span<const PreparedSet* const> sets) const;
+
+  std::shared_ptr<const IntersectionAlgorithm> algorithm_;
+  bool validate_;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_API_ENGINE_H_

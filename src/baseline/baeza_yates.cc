@@ -35,7 +35,7 @@ void ByRecurse(std::span<const Elem> small, std::size_t slo, std::size_t shi,
 
 std::unique_ptr<PreprocessedSet> BaezaYatesIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<PlainSet>(set);
 }
 

@@ -34,7 +34,7 @@ std::size_t BppSet::SizeInWords() const {
 
 std::unique_ptr<PreprocessedSet> BppIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<BppSet>(set, code_hash_);
 }
 

@@ -30,7 +30,7 @@ void WriteCode(BitWriter& w, EliasCodec codec, std::uint64_t v) {
 CompressedPlainSet::CompressedPlainSet(std::span<const Elem> set,
                                        EliasCodec codec)
     : n_(set.size()), codec_(codec) {
-  CheckSortedUnique(set, "CompressedMerge");
+  DebugCheckSortedUnique(set, "CompressedMerge");
   BitWriter w;
   Elem prev = 0;
   for (std::size_t i = 0; i < set.size(); ++i) {
@@ -133,7 +133,7 @@ void CompressedMergeIntersection::Intersect(
 CompressedLookupSet::CompressedLookupSet(std::span<const Elem> set,
                                          EliasCodec codec, int bucket_bits)
     : n_(set.size()), codec_(codec), bucket_bits_(bucket_bits) {
-  CheckSortedUnique(set, "CompressedLookup");
+  DebugCheckSortedUnique(set, "CompressedLookup");
   // Keep the directory O(n) on sparse id ranges (see LookupSet).
   while (bucket_bits_ < 31 && !set.empty() &&
          (static_cast<std::uint64_t>(set.back()) >> bucket_bits_) >

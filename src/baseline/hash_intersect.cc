@@ -6,7 +6,7 @@ namespace fsi {
 
 std::unique_ptr<PreprocessedSet> HashIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<HashedSet>(set, seed_);
 }
 

@@ -44,7 +44,7 @@ LookupIntersection::LookupIntersection(int bucket_size) {
 
 std::unique_ptr<PreprocessedSet> LookupIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<LookupSet>(set, bucket_bits_);
 }
 

@@ -7,7 +7,7 @@ namespace fsi {
 
 std::unique_ptr<PreprocessedSet> SkipListIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<SkipListSet>(set, seed_);
 }
 

@@ -10,7 +10,7 @@ namespace fsi {
 
 std::unique_ptr<PreprocessedSet> SmallAdaptiveIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<PlainSet>(set);
 }
 

@@ -8,7 +8,7 @@ namespace fsi {
 
 std::unique_ptr<PreprocessedSet> SvsIntersection::Preprocess(
     std::span<const Elem> set) const {
-  CheckSortedUnique(set, name());
+  DebugCheckSortedUnique(set, name());
   return std::make_unique<PlainSet>(set);
 }
 

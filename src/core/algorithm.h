@@ -30,8 +30,15 @@ using Elem = std::uint32_t;
 /// (what an inverted index stores as a posting list).
 using ElemList = std::vector<Elem>;
 
+/// Seed every randomized algorithm derives its hash functions from when
+/// the caller does not provide one (CreateAlgorithm, AlgorithmRegistry
+/// and EngineOptions all default to this).
+inline constexpr std::uint64_t kDefaultAlgorithmSeed = 0x6a09e667f3bcc908ULL;
+
 /// Validates that `set` is strictly increasing; throws std::invalid_argument
-/// otherwise.  Called by every Preprocess implementation.
+/// otherwise.  O(n).  Called by fsi::Engine::Prepare when its
+/// ValidationPolicy enables full validation, and by
+/// DebugCheckSortedUnique in Debug builds.
 inline void CheckSortedUnique(std::span<const Elem> set,
                               std::string_view algorithm) {
   for (std::size_t i = 1; i < set.size(); ++i) {
@@ -41,6 +48,20 @@ inline void CheckSortedUnique(std::span<const Elem> set,
           ": input set must be sorted and duplicate-free");
     }
   }
+}
+
+/// Debug-gated input validation, called by every Preprocess implementation.
+/// Full O(n) validation in Debug builds; a no-op in Release, where the
+/// fsi::Engine's ValidationPolicy decides whether inputs are checked
+/// (callers of the raw algorithm API are trusted there).
+inline void DebugCheckSortedUnique(std::span<const Elem> set,
+                                   std::string_view algorithm) {
+#ifndef NDEBUG
+  CheckSortedUnique(set, algorithm);
+#else
+  (void)set;
+  (void)algorithm;
+#endif
 }
 
 /// A per-set structure produced by pre-processing.  Concrete algorithms
@@ -56,6 +77,11 @@ class PreprocessedSet {
   /// element data itself — the measure used by the paper's "Size of the
   /// Data Structure" experiment.
   virtual std::size_t SizeInWords() const = 0;
+
+  /// Number of groups in the partition-based structures (2^t for the
+  /// randomized-partition algorithms); 0 when the structure has no group
+  /// decomposition.  Feeds the Engine's per-query statistics.
+  virtual std::uint64_t NumGroups() const { return 0; }
 };
 
 /// An intersection algorithm: a named pair of (Preprocess, Intersect).

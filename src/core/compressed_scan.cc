@@ -13,7 +13,7 @@ CompressedScanSet::CompressedScanSet(std::span<const Elem> set,
                                      const WordHashFamily& hashes, int t,
                                      ScanCodec codec)
     : n_(set.size()), t_(t), codec_(codec) {
-  CheckSortedUnique(set, "CompressedScan");
+  DebugCheckSortedUnique(set, "CompressedScan");
   if (!set.empty() && g.domain_bits() < 32 &&
       set.back() >= (Elem{1} << g.domain_bits())) {
     throw std::invalid_argument(

@@ -34,7 +34,7 @@ std::size_t GallopGval(std::span<const std::uint32_t> gv, std::size_t lo,
 
 GOrderedSet::GOrderedSet(std::span<const Elem> set,
                          const FeistelPermutation& g) {
-  CheckSortedUnique(set, "HashBin");
+  DebugCheckSortedUnique(set, "HashBin");
   if (!set.empty() && g.domain_bits() < 32 &&
       set.back() >= (Elem{1} << g.domain_bits())) {
     throw std::invalid_argument(

@@ -11,7 +11,7 @@ namespace fsi {
 FixedGroupSet::FixedGroupSet(std::span<const Elem> set, const WordHash& h,
                              std::size_t group_size)
     : group_size_(group_size) {
-  CheckSortedUnique(set, "IntGroup");
+  DebugCheckSortedUnique(set, "IntGroup");
   std::size_t n = set.size();
   elems_.assign(set.begin(), set.end());
   hvals_.resize(n);

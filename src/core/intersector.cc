@@ -4,19 +4,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "baseline/adaptive.h"
-#include "baseline/baeza_yates.h"
-#include "baseline/bpp.h"
-#include "baseline/compressed_baselines.h"
-#include "baseline/hash_intersect.h"
-#include "baseline/lookup.h"
-#include "baseline/merge.h"
-#include "baseline/skip_list_intersect.h"
-#include "baseline/small_adaptive.h"
-#include "baseline/svs.h"
-#include "core/compressed_scan.h"
-#include "core/int_group.h"
-#include "core/ran_group.h"
+#include "api/registry.h"
 
 namespace fsi {
 
@@ -76,83 +64,23 @@ void HybridIntersection::IntersectUnordered(
   }
 }
 
+// Legacy entry points, kept as thin shims over the descriptor registry
+// (api/registry.h) — the former if-chain lives there as self-contained
+// descriptors with option-string parsing.
+
 std::unique_ptr<IntersectionAlgorithm> CreateAlgorithm(std::string_view name,
                                                        std::uint64_t seed) {
-  if (name == "Merge") return std::make_unique<MergeIntersection>();
-  if (name == "SkipList") return std::make_unique<SkipListIntersection>(seed);
-  if (name == "Hash") return std::make_unique<HashIntersection>(seed);
-  if (name == "BPP") return std::make_unique<BppIntersection>(seed);
-  if (name == "Lookup") return std::make_unique<LookupIntersection>();
-  if (name == "SvS") return std::make_unique<SvsIntersection>();
-  if (name == "Adaptive") return std::make_unique<AdaptiveIntersection>();
-  if (name == "BaezaYates") {
-    return std::make_unique<BaezaYatesIntersection>();
-  }
-  if (name == "SmallAdaptive") {
-    return std::make_unique<SmallAdaptiveIntersection>();
-  }
-  if (name == "IntGroup") {
-    IntGroupIntersection::Options o;
-    o.seed = seed;
-    return std::make_unique<IntGroupIntersection>(o);
-  }
-  if (name == "RanGroup") {
-    RanGroupIntersection::Options o;
-    o.seed = seed;
-    return std::make_unique<RanGroupIntersection>(o);
-  }
-  if (name == "RanGroupScan" || name == "RanGroupScan2") {
-    RanGroupScanIntersection::Options o;
-    o.seed = seed;
-    o.m = (name == "RanGroupScan2") ? 2 : 4;
-    return std::make_unique<RanGroupScanIntersection>(o);
-  }
-  if (name == "HashBin") {
-    HashBinIntersection::Options o;
-    o.seed = seed;
-    return std::make_unique<HashBinIntersection>(o);
-  }
-  if (name == "Hybrid") {
-    HybridIntersection::Options o;
-    o.scan.seed = seed;
-    return std::make_unique<HybridIntersection>(o);
-  }
-  if (name == "Merge_Gamma") {
-    return std::make_unique<CompressedMergeIntersection>(EliasCodec::kGamma);
-  }
-  if (name == "Merge_Delta") {
-    return std::make_unique<CompressedMergeIntersection>(EliasCodec::kDelta);
-  }
-  if (name == "Lookup_Gamma") {
-    return std::make_unique<CompressedLookupIntersection>(EliasCodec::kGamma);
-  }
-  if (name == "Lookup_Delta") {
-    return std::make_unique<CompressedLookupIntersection>(EliasCodec::kDelta);
-  }
-  if (name == "RanGroupScan_Lowbits" || name == "RanGroupScan_Gamma" ||
-      name == "RanGroupScan_Delta") {
-    CompressedScanIntersection::Options o;
-    o.seed = seed;
-    o.codec = name == "RanGroupScan_Lowbits" ? ScanCodec::kLowbits
-              : name == "RanGroupScan_Gamma" ? ScanCodec::kGamma
-                                             : ScanCodec::kDelta;
-    return std::make_unique<CompressedScanIntersection>(o);
-  }
-  throw std::invalid_argument("CreateAlgorithm: unknown algorithm '" +
-                              std::string(name) + "'");
+  return AlgorithmRegistry::Global().Create(name, seed);
 }
 
 std::vector<std::string_view> UncompressedAlgorithmNames() {
-  return {"Merge",      "SkipList",   "Hash",         "BPP",
-          "Lookup",     "SvS",        "Adaptive",     "BaezaYates",
-          "SmallAdaptive", "IntGroup", "RanGroup",    "RanGroupScan",
-          "HashBin",    "Hybrid"};
+  return AlgorithmRegistry::Global().Names(/*compressed=*/false,
+                                           /*include_hidden=*/false);
 }
 
 std::vector<std::string_view> CompressedAlgorithmNames() {
-  return {"Merge_Gamma",        "Merge_Delta",        "Lookup_Gamma",
-          "Lookup_Delta",       "RanGroupScan_Lowbits", "RanGroupScan_Gamma",
-          "RanGroupScan_Delta"};
+  return AlgorithmRegistry::Global().Names(/*compressed=*/true,
+                                           /*include_hidden=*/false);
 }
 
 }  // namespace fsi

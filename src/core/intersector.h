@@ -58,16 +58,20 @@ class HybridIntersection : public IntersectionAlgorithm {
   RanGroupScanIntersection scan_;
 };
 
-/// Creates an algorithm by its paper name.  Recognised names:
+/// Creates an algorithm by its paper name — a thin shim over
+/// fsi::AlgorithmRegistry (api/registry.h), which is the canonical way to
+/// enumerate and construct algorithms.  Recognised names:
 ///   Merge, SkipList, Hash, BPP, Lookup, SvS, Adaptive, BaezaYates,
 ///   SmallAdaptive, IntGroup, RanGroup, RanGroupScan, RanGroupScan2
 ///   (m = 2), HashBin, Hybrid, Merge_Gamma, Merge_Delta, Lookup_Gamma,
 ///   Lookup_Delta, RanGroupScan_Lowbits, RanGroupScan_Gamma,
 ///   RanGroupScan_Delta.
-/// Throws std::invalid_argument for unknown names.  All randomized
-/// algorithms derive their internal hash functions from `seed`.
+/// Registry option-spec strings (e.g. "RanGroupScan:m=2,w=4") are also
+/// accepted.  Throws std::invalid_argument for unknown names or options.
+/// All randomized algorithms derive their internal hash functions from
+/// `seed`.
 std::unique_ptr<IntersectionAlgorithm> CreateAlgorithm(
-    std::string_view name, std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+    std::string_view name, std::uint64_t seed = kDefaultAlgorithmSeed);
 
 /// Names of the uncompressed algorithms (the Section 4 cast).
 std::vector<std::string_view> UncompressedAlgorithmNames();

@@ -10,7 +10,7 @@ MultiResolutionSet::MultiResolutionSet(std::span<const Elem> set,
                                        const WordHash& h,
                                        bool single_resolution)
     : domain_bits_(g.domain_bits()) {
-  CheckSortedUnique(set, "MultiResolutionSet");
+  DebugCheckSortedUnique(set, "MultiResolutionSet");
   if (domain_bits_ > 32) {
     throw std::invalid_argument(
         "MultiResolutionSet: permutation domain wider than 32 bits");

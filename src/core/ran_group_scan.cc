@@ -10,7 +10,7 @@ namespace fsi {
 ScanSet::ScanSet(std::span<const Elem> set, const FeistelPermutation& g,
                  const WordHashFamily& hashes, int t)
     : t_(t), m_(hashes.size()) {
-  CheckSortedUnique(set, "RanGroupScan");
+  DebugCheckSortedUnique(set, "RanGroupScan");
   if (!set.empty() && g.domain_bits() < 32 &&
       set.back() >= (Elem{1} << g.domain_bits())) {
     throw std::invalid_argument(
@@ -56,6 +56,9 @@ RanGroupScanIntersection::RanGroupScanIntersection(const Options& options)
   if (options.m < 1) {
     throw std::invalid_argument("RanGroupScan: m must be >= 1");
   }
+  if (options.group_width < 1) {
+    throw std::invalid_argument("RanGroupScan: group_width must be >= 1");
+  }
 }
 
 std::unique_ptr<PreprocessedSet> RanGroupScanIntersection::Preprocess(
@@ -64,9 +67,10 @@ std::unique_ptr<PreprocessedSet> RanGroupScanIntersection::Preprocess(
   // (Theorem 3.9 and Section 3.3.1: the resolution depends only on |L_i|,
   // so a single partitioning per set suffices).
   std::uint64_t n = set.size();
+  const std::uint64_t width = options_.group_width;
   int t = 0;
-  if (n > kSqrtWordBits) {
-    t = CeilLog2((n + kSqrtWordBits - 1) / kSqrtWordBits);
+  if (n > width) {
+    t = CeilLog2((n + width - 1) / width);
   }
   t = std::min(t, g_.domain_bits());
   return std::make_unique<ScanSet>(set, g_, hashes_, t);

@@ -51,6 +51,7 @@ class ScanSet : public PreprocessedSet {
   int t() const { return t_; }
   int m() const { return m_; }
   std::uint64_t num_groups() const { return std::uint64_t{1} << t_; }
+  std::uint64_t NumGroups() const override { return num_groups(); }
 
   /// Half-open position range of group z.
   std::pair<std::uint32_t, std::uint32_t> GroupRange(std::uint64_t z) const {
@@ -91,6 +92,11 @@ class RanGroupScanIntersection : public IntersectionAlgorithm {
     /// skipping, and the aligned fast path) — ablation only.  Every z_k then
     /// recomputes all k*m partial ANDs and advances one step at a time.
     bool memoize = true;
+    /// Target expected group width: the resolution is chosen as
+    /// t_i = ceil(log2(n_i / group_width)).  The paper's choice is
+    /// sqrt(w) = 8; wider groups trade filtering effectiveness for fewer
+    /// image words (registry option key "w").
+    std::size_t group_width = kSqrtWordBits;
   };
 
   RanGroupScanIntersection() : RanGroupScanIntersection(Options()) {}

@@ -32,15 +32,11 @@ class FeistelPermutation {
 
   /// `domain_bits` must be even; the permutation acts on [0, 2^domain_bits).
   FeistelPermutation(int domain_bits, std::uint64_t seed)
-      : domain_bits_(domain_bits),
+      : domain_bits_(ValidatedDomainBits(domain_bits)),
         half_bits_(domain_bits / 2),
         half_mask_((domain_bits == 64 ? ~std::uint64_t{0}
                                       : (std::uint64_t{1} << domain_bits) - 1) >>
                    (domain_bits / 2)) {
-    if (domain_bits < 2 || domain_bits > 64 || domain_bits % 2 != 0) {
-      throw std::invalid_argument(
-          "FeistelPermutation: domain_bits must be even and in [2, 64]");
-    }
     SplitMix64 sm(seed);
     for (auto& k : keys_) k = sm.Next();
   }
@@ -84,6 +80,16 @@ class FeistelPermutation {
   }
 
  private:
+  // Validation must run before the member initializers shift by
+  // domain_bits — an out-of-range value would be UB there.
+  static int ValidatedDomainBits(int domain_bits) {
+    if (domain_bits < 2 || domain_bits > 64 || domain_bits % 2 != 0) {
+      throw std::invalid_argument(
+          "FeistelPermutation: domain_bits must be even and in [2, 64]");
+    }
+    return domain_bits;
+  }
+
   /// Round function: any fixed function of (half, key) works for a Feistel
   /// bijection; we use one SplitMix-style mix truncated to the half width.
   std::uint64_t Round(std::uint64_t half, std::uint64_t key) const {

@@ -28,24 +28,42 @@ void InvertedIndex::Finalize() {
   if (finalized_) throw std::logic_error("InvertedIndex: double Finalize");
   structures_.reserve(postings_.size());
   for (const ElemList& list : postings_) {
-    structures_.push_back(algorithm_->Preprocess(list));
+    structures_.push_back(engine_.Prepare(list));
   }
   finalized_ = true;
 }
 
-ElemList InvertedIndex::Query(std::span<const std::string> terms) const {
-  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
-  ElemList out;
-  if (terms.empty()) return out;
-  std::vector<const PreprocessedSet*> sets;
-  sets.reserve(terms.size());
+bool InvertedIndex::Resolve(std::span<const std::string> terms,
+                            std::vector<const PreparedSet*>* sets) const {
+  sets->reserve(terms.size());
   for (const std::string& term : terms) {
     auto it = dictionary_.find(term);
-    if (it == dictionary_.end()) return out;  // unknown term: empty result
-    sets.push_back(structures_[it->second].get());
+    if (it == dictionary_.end()) return false;  // unknown term
+    sets->push_back(&structures_[it->second]);
   }
-  algorithm_->Intersect(sets, &out);
+  return true;
+}
+
+ElemList InvertedIndex::Query(std::span<const std::string> terms,
+                              QueryStats* stats) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  if (stats != nullptr) *stats = QueryStats{};
+  if (terms.empty()) return {};
+  std::vector<const PreparedSet*> sets;
+  if (!Resolve(terms, &sets)) return {};
+  fsi::Query query = engine_.Query(sets);
+  ElemList out = query.Materialize();
+  if (stats != nullptr) *stats = query.stats();
   return out;
+}
+
+std::size_t InvertedIndex::CountMatching(
+    std::span<const std::string> terms) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  if (terms.empty()) return 0;
+  std::vector<const PreparedSet*> sets;
+  if (!Resolve(terms, &sets)) return 0;
+  return engine_.Query(sets).Unordered().Count();
 }
 
 std::size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
@@ -55,7 +73,7 @@ std::size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
 
 std::size_t InvertedIndex::SizeInWords() const {
   std::size_t words = 0;
-  for (const auto& s : structures_) words += s->SizeInWords();
+  for (const auto& s : structures_) words += s.SizeInWords();
   return words;
 }
 

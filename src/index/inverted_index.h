@@ -3,34 +3,34 @@
 // This is the substrate the paper's motivating applications sit on: "for
 // each term t, the inverted index stores a sorted list of all document IDs
 // containing t".  The examples (mini search engine, faceted product
-// filtering) build an index and evaluate conjunctive queries through any
-// IntersectionAlgorithm — demonstrating the library's intended integration
-// point: posting lists are pre-processed once at index build time, queries
-// intersect the pre-processed structures.
+// filtering) build an index over an fsi::Engine and evaluate conjunctive
+// queries through it — demonstrating the library's intended integration
+// point: posting lists are pre-processed once at index build time
+// (Engine::Prepare), queries intersect the owning PreparedSet handles.
 
 #ifndef FSI_INDEX_INVERTED_INDEX_H_
 #define FSI_INDEX_INVERTED_INDEX_H_
 
 #include <cstddef>
-#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "core/algorithm.h"
+#include "api/engine.h"
 
 namespace fsi {
 
-/// Inverted index over string terms with pluggable intersection algorithms.
+/// Inverted index over string terms with a pluggable intersection engine.
 class InvertedIndex {
  public:
-  /// `algorithm` pre-processes every posting list at Finalize() time and
-  /// answers the conjunctive queries; the index keeps a non-owning pointer,
-  /// so the algorithm must outlive the index.
-  explicit InvertedIndex(const IntersectionAlgorithm* algorithm)
-      : algorithm_(algorithm) {}
+  /// The engine pre-processes every posting list at Finalize() time and
+  /// answers the conjunctive queries.  Copying an Engine shares its
+  /// algorithm instance, so the index owns everything it needs — no
+  /// external lifetime requirements.
+  explicit InvertedIndex(Engine engine) : engine_(std::move(engine)) {}
 
   /// Adds a document; doc ids must be strictly increasing across calls.
   void AddDocument(Elem doc_id, std::span<const std::string> terms);
@@ -39,24 +39,35 @@ class InvertedIndex {
   /// AddDocument calls and before any query.
   void Finalize();
 
-  /// Conjunctive query: documents containing *all* terms.  Unknown terms
-  /// yield an empty result.
-  ElemList Query(std::span<const std::string> terms) const;
+  /// Conjunctive query: documents containing *all* terms, in document-id
+  /// order.  Unknown terms yield an empty result.  When `stats` is
+  /// non-null it receives the per-query measurements.
+  ElemList Query(std::span<const std::string> terms,
+                 QueryStats* stats = nullptr) const;
+
+  /// Count-only conjunctive query: how many documents match, without
+  /// materializing them (the "result size estimation" workload).
+  std::size_t CountMatching(std::span<const std::string> terms) const;
 
   /// Document frequency of a term (0 if unknown).
   std::size_t DocumentFrequency(std::string_view term) const;
 
   std::size_t num_terms() const { return postings_.size(); }
   std::size_t num_documents() const { return num_documents_; }
+  const Engine& engine() const { return engine_; }
 
   /// Total index footprint in 64-bit words (pre-processed structures).
   std::size_t SizeInWords() const;
 
  private:
-  const IntersectionAlgorithm* algorithm_;
+  /// Resolves terms to prepared-set handles; false when a term is unknown.
+  bool Resolve(std::span<const std::string> terms,
+               std::vector<const PreparedSet*>* sets) const;
+
+  Engine engine_;
   std::unordered_map<std::string, std::size_t> dictionary_;
   std::vector<ElemList> postings_;
-  std::vector<std::unique_ptr<PreprocessedSet>> structures_;
+  std::vector<PreparedSet> structures_;
   std::size_t num_documents_ = 0;
   Elem last_doc_id_ = 0;
   bool has_docs_ = false;

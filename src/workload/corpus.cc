@@ -85,7 +85,7 @@ QueryWorkload::QueryWorkload(const SyntheticCorpus& corpus,
     } else {
       k = 5;
     }
-    Query q;
+    TermQuery q;
     while (q.size() < k) {
       std::size_t t = term_rank.Sample(rng);
       if (std::find(q.begin(), q.end(), t) == q.end()) q.push_back(t);
@@ -102,7 +102,7 @@ QueryWorkload::Stats QueryWorkload::ComputeStats(
   double ratio1k_sum = 0;
   std::size_t ratio1k_count = 0;
   double sel_sum = 0;
-  for (const Query& q : queries_) {
+  for (const TermQuery& q : queries_) {
     std::vector<std::size_t> sizes;
     std::vector<std::span<const Elem>> lists;
     for (std::size_t t : q) {

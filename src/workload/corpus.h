@@ -77,7 +77,7 @@ class SyntheticCorpus {
 };
 
 /// One conjunctive query: term ids into a SyntheticCorpus.
-using Query = std::vector<std::size_t>;
+using TermQuery = std::vector<std::size_t>;
 
 /// A Bing-like query workload over a corpus.
 class QueryWorkload {
@@ -94,7 +94,7 @@ class QueryWorkload {
 
   QueryWorkload(const SyntheticCorpus& corpus, const Options& options);
 
-  const std::vector<Query>& queries() const { return queries_; }
+  const std::vector<TermQuery>& queries() const { return queries_; }
 
   /// Measured workload statistics, for reporting against the paper's.
   struct Stats {
@@ -106,7 +106,7 @@ class QueryWorkload {
   Stats ComputeStats(const SyntheticCorpus& corpus) const;
 
  private:
-  std::vector<Query> queries_;
+  std::vector<TermQuery> queries_;
 };
 
 }  // namespace fsi

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/intersector.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
@@ -96,17 +97,16 @@ TEST_P(AlgorithmPropertyTest, MatchesGroundTruth) {
     ElemList actual = alg->IntersectLists(lists);
     ASSERT_EQ(actual, expected)
         << name << " seed=" << seed << " spec=" << std::get<1>(GetParam());
-    // IntersectUnordered must return the same *set*.
-    std::vector<std::unique_ptr<PreprocessedSet>> owned;
-    std::vector<const PreprocessedSet*> views;
-    for (const ElemList& l : lists) {
-      owned.push_back(alg->Preprocess(l));
-      views.push_back(owned.back().get());
-    }
-    ElemList unordered;
-    alg->IntersectUnordered(views, &unordered);
+    // The Engine API over the same workload: Unordered() must return the
+    // same *set*, and the count-only sink the same cardinality.
+    Engine engine(name, {.validation = ValidationPolicy::kFull});
+    std::vector<PreparedSet> prepared;
+    for (const ElemList& l : lists) prepared.push_back(engine.Prepare(l));
+    ElemList unordered = engine.Query(prepared).Unordered().Materialize();
     std::sort(unordered.begin(), unordered.end());
     ASSERT_EQ(unordered, expected) << name << " (unordered)";
+    ASSERT_EQ(engine.Query(prepared).Count(), expected.size())
+        << name << " (count-only)";
     if (spec.r >= 0) {
       // The generator guarantees the exact intersection size.
       ASSERT_EQ(expected.size(), static_cast<std::size_t>(spec.r));

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "core/intersector.h"
+#include "api/engine.h"
 
 namespace fsi {
 namespace {
@@ -16,7 +16,7 @@ std::vector<std::string> Terms(std::initializer_list<const char*> ts) {
 
 class InvertedIndexTest : public ::testing::Test {
  protected:
-  InvertedIndexTest() : alg_(CreateAlgorithm("Hybrid")), index_(alg_.get()) {
+  InvertedIndexTest() : index_(Engine("Hybrid")) {
     index_.AddDocument(1, Terms({"fast", "set", "intersection"}));
     index_.AddDocument(2, Terms({"fast", "hash", "join"}));
     index_.AddDocument(5, Terms({"set", "intersection", "memory"}));
@@ -24,7 +24,6 @@ class InvertedIndexTest : public ::testing::Test {
     index_.Finalize();
   }
 
-  std::unique_ptr<IntersectionAlgorithm> alg_;
   InvertedIndex index_;
 };
 
@@ -37,6 +36,17 @@ TEST_F(InvertedIndexTest, ConjunctiveQuery) {
   EXPECT_EQ(index_.Query(Terms({"fast", "intersection"})), (ElemList{1, 9}));
   EXPECT_EQ(index_.Query(Terms({"set", "intersection", "memory"})),
             (ElemList{5}));
+}
+
+TEST_F(InvertedIndexTest, CountMatchingAgreesWithQuery) {
+  EXPECT_EQ(index_.CountMatching(Terms({"fast", "intersection"})), 2u);
+  EXPECT_EQ(index_.CountMatching(Terms({"nosuchterm", "fast"})), 0u);
+  EXPECT_EQ(index_.CountMatching({}), 0u);
+  QueryStats stats;
+  index_.Query(Terms({"fast", "intersection"}), &stats);
+  EXPECT_EQ(stats.result_size, 2u);
+  EXPECT_GT(stats.elements_scanned, 0u);
+  EXPECT_EQ(stats.num_sets, 2u);
 }
 
 TEST_F(InvertedIndexTest, UnknownTermYieldsEmpty) {
@@ -61,16 +71,14 @@ TEST_F(InvertedIndexTest, Counts) {
 }
 
 TEST(InvertedIndexValidationTest, RejectsNonIncreasingDocIds) {
-  auto alg = CreateAlgorithm("Merge");
-  InvertedIndex index(alg.get());
+  InvertedIndex index{Engine("Merge")};
   index.AddDocument(5, Terms({"a"}));
   EXPECT_THROW(index.AddDocument(5, Terms({"b"})), std::invalid_argument);
   EXPECT_THROW(index.AddDocument(3, Terms({"b"})), std::invalid_argument);
 }
 
 TEST(InvertedIndexValidationTest, LifecycleErrors) {
-  auto alg = CreateAlgorithm("Merge");
-  InvertedIndex index(alg.get());
+  InvertedIndex index{Engine("Merge")};
   index.AddDocument(1, Terms({"a"}));
   EXPECT_THROW(index.Query(Terms({"a"})), std::logic_error);  // not finalized
   index.Finalize();
@@ -79,8 +87,7 @@ TEST(InvertedIndexValidationTest, LifecycleErrors) {
 }
 
 TEST(InvertedIndexValidationTest, DuplicateTermInDocumentCollapses) {
-  auto alg = CreateAlgorithm("Merge");
-  InvertedIndex index(alg.get());
+  InvertedIndex index{Engine("Merge")};
   index.AddDocument(1, Terms({"a", "a", "a"}));
   index.Finalize();
   EXPECT_EQ(index.DocumentFrequency("a"), 1u);
@@ -93,8 +100,7 @@ TEST(InvertedIndexAlgorithmsTest, SameResultsUnderEveryAlgorithm) {
                                          "Hybrid", "SvS",
                                          "RanGroupScan_Lowbits"};
   for (const auto& name : algorithms) {
-    auto alg = CreateAlgorithm(name);
-    InvertedIndex index(alg.get());
+    InvertedIndex index{Engine(name)};
     for (Elem d = 0; d < 500; ++d) {
       std::vector<std::string> terms;
       if (d % 2 == 0) terms.push_back("even");

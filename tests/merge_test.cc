@@ -1,5 +1,7 @@
 #include "baseline/merge.h"
 
+#include "api/engine.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -108,12 +110,19 @@ TEST(MergeTest, AlgorithmInterface) {
   EXPECT_EQ(alg.IntersectLists(lists), (ElemList{2, 4}));
 }
 
-TEST(MergeTest, PreprocessRejectsUnsortedInput) {
-  MergeIntersection alg;
+TEST(MergeTest, PrepareRejectsInvalidInputWhenValidationEnabled) {
+  // Full validation is an Engine ValidationPolicy: explicit kFull checks in
+  // every build type; the raw Preprocess path validates in Debug only.
+  Engine engine("Merge", {.validation = ValidationPolicy::kFull});
   ElemList bad = {3, 1, 2};
-  EXPECT_THROW(alg.Preprocess(bad), std::invalid_argument);
+  EXPECT_THROW(engine.Prepare(bad), std::invalid_argument);
   ElemList dup = {1, 1, 2};
+  EXPECT_THROW(engine.Prepare(dup), std::invalid_argument);
+#ifndef NDEBUG
+  MergeIntersection alg;
+  EXPECT_THROW(alg.Preprocess(bad), std::invalid_argument);
   EXPECT_THROW(alg.Preprocess(dup), std::invalid_argument);
+#endif
 }
 
 }  // namespace

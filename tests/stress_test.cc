@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/intersector.h"
 #include "util/rng.h"
 
@@ -77,12 +78,14 @@ class StressTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(StressTest, AdversarialDistributions) {
   Generator generators[] = {DenseRuns, GeometricClusters, BitAligned};
-  auto alg = CreateAlgorithm(GetParam());
+  // Through the Engine with full validation: the generators' output is
+  // re-checked, and the sweep exercises the production entry point.
+  Engine engine(GetParam(), {.validation = ValidationPolicy::kFull});
   Xoshiro256 rng(0x57E55);
   for (Generator gen_a : generators) {
     for (Generator gen_b : generators) {
       std::vector<ElemList> lists = {gen_a(rng, 3000), gen_b(rng, 5000)};
-      ASSERT_EQ(alg->IntersectLists(lists), GroundTruth(lists));
+      ASSERT_EQ(engine.IntersectLists(lists), GroundTruth(lists));
     }
   }
 }
@@ -119,13 +122,16 @@ TEST_P(StressTest, ManySeedsSmallSets) {
 }
 
 TEST_P(StressTest, KWayMixedDistributions) {
-  auto alg = CreateAlgorithm(GetParam());
-  if (alg->max_query_sets() < 4) GTEST_SKIP();
+  Engine engine{GetParam()};
+  if (engine.max_query_sets() < 4) GTEST_SKIP();
   Xoshiro256 rng(0x57E58);
   std::vector<ElemList> lists = {
       DenseRuns(rng, 500), GeometricClusters(rng, 2000), BitAligned(rng, 4000),
       DenseRuns(rng, 8000)};
-  ASSERT_EQ(alg->IntersectLists(lists), GroundTruth(lists));
+  std::vector<PreparedSet> prepared;
+  for (const ElemList& l : lists) prepared.push_back(engine.Prepare(l));
+  ASSERT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+  ASSERT_EQ(engine.Query(prepared).Count(), GroundTruth(lists).size());
 }
 
 std::vector<std::string> StressedAlgorithms() {

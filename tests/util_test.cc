@@ -19,7 +19,7 @@ TEST(TimerTest, MonotoneNonNegative) {
 
 TEST(TimerTest, ResetRestarts) {
   Timer t;
-  volatile int sink = 0;
+  volatile std::int64_t sink = 0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   (void)sink;
   std::int64_t before = t.ElapsedNanos();

@@ -142,7 +142,7 @@ TEST(QueryWorkloadTest, QueriesHaveDistinctTerms) {
   QueryWorkload::Options qo;
   qo.num_queries = 500;
   QueryWorkload workload(corpus, qo);
-  for (const Query& q : workload.queries()) {
+  for (const TermQuery& q : workload.queries()) {
     ASSERT_GE(q.size(), 2u);
     ASSERT_LE(q.size(), 5u);
     for (std::size_t i = 0; i < q.size(); ++i) {
