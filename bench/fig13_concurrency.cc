@@ -1,0 +1,142 @@
+// Figure 13 (beyond the paper): thread-scaling of concurrent batch
+// execution over shared prepared structures.
+//
+// The paper's setting is an interactive search tier — many small
+// conjunctive queries served at high throughput.  Its experiments are
+// single-threaded; this harness measures what the Engine thread-safety
+// contract buys at the system level: one Engine, every queried posting
+// list preprocessed once, and a Bing-like query log executed by
+// fsi::BatchRunner at 1/2/4/8 workers.
+//
+// Read the output as a scaling curve: for each algorithm,
+// `items_per_second` (queries/s) at threads:1 is the single-threaded
+// baseline; the workload is embarrassingly parallel over read-only
+// structures, so throughput should scale near-linearly until the memory
+// bus or the physical core count saturates.  Counters report the merged
+// BatchStats of the last batch (p95 per-query latency, per-query data
+// volume) — tail latency should stay flat while throughput climbs.
+//
+//   ./build/bench/fig13_concurrency
+//   ./build/bench/fig13_concurrency --benchmark_format=json  # CI artifact
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/batch_runner.h"
+#include "bench/bench_util.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+// One corpus + query log for the whole binary (fixed seeds inside the
+// corpus/workload defaults keep every run and every CI job comparable).
+struct Log {
+  SyntheticCorpus corpus;
+  QueryWorkload workload;  // built over `corpus` (declared after it)
+
+  Log(const SyntheticCorpus::Options& co, const QueryWorkload::Options& qo)
+      : corpus(co), workload(corpus, qo) {}
+
+  static const Log& Get() {
+    static Log* log = [] {
+      SyntheticCorpus::Options co;
+      co.num_docs = FullScale() ? (1u << 20) : (1u << 17);
+      co.vocabulary = FullScale() ? 20000 : 4000;
+      QueryWorkload::Options qo;
+      qo.num_queries = FullScale() ? 4096 : 512;
+      return new Log(co, qo);
+    }();
+    return *log;
+  }
+};
+
+// Per-algorithm batch state: every distinct queried term preprocessed
+// once, the query log resolved to prepared-set pointers.
+struct BatchState {
+  Engine engine;
+  std::vector<PreparedSet> structures;
+  std::vector<BatchQuery> queries;
+};
+
+const BatchState& State(const std::string& spec) {
+  static std::map<std::string, BatchState>* cache =
+      new std::map<std::string, BatchState>();
+  auto it = cache->find(spec);
+  if (it != cache->end()) return it->second;
+
+  const Log& log = Log::Get();
+  Engine engine(spec);
+  std::map<std::size_t, std::size_t> slot;  // term -> structures index
+  std::vector<PreparedSet> structures;
+  for (const TermQuery& q : log.workload.queries()) {
+    for (std::size_t term : q) {
+      if (slot.try_emplace(term, structures.size()).second) {
+        structures.push_back(engine.Prepare(log.corpus.postings(term)));
+      }
+    }
+  }
+  std::vector<BatchQuery> queries;
+  queries.reserve(log.workload.queries().size());
+  for (const TermQuery& q : log.workload.queries()) {
+    BatchQuery bq;
+    bq.reserve(q.size());
+    for (std::size_t term : q) bq.push_back(&structures[slot[term]]);
+    queries.push_back(std::move(bq));
+  }
+  it = cache->emplace(spec, BatchState{std::move(engine),
+                                       std::move(structures),
+                                       std::move(queries)})
+           .first;
+  return it->second;
+}
+
+void RegisterAll() {
+  const std::vector<std::string> algorithms = {"Merge", "SvS", "Hybrid",
+                                               "RanGroupScan"};
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  for (const auto& alg : algorithms) {
+    for (std::size_t threads : thread_counts) {
+      std::string label =
+          "fig13/" + alg + "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [alg, threads](benchmark::State& st) {
+            const BatchState& state = State(alg);
+            // One runner (and pool) per benchmark; iterations reuse it,
+            // so the timed loop measures execution, not thread spawning.
+            BatchRunner runner(state.engine, {.num_threads = threads});
+            for (auto _ : st) {
+              auto counts = runner.Count(state.queries);
+              benchmark::DoNotOptimize(counts.data());
+            }
+            st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
+                                 static_cast<std::int64_t>(
+                                     state.queries.size()));
+            st.counters["threads"] = static_cast<double>(threads);
+            st.counters["p95_us"] = runner.stats().p95_micros;
+            st.counters["scanned_per_query"] =
+                static_cast<double>(runner.stats().elements_scanned) /
+                static_cast<double>(state.queries.size());
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->MeasureProcessCPUTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

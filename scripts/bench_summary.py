@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Condense Google-Benchmark JSON outputs into one BENCH_pr.json summary.
+
+Usage: bench_summary.py <dir-with-*.json> > BENCH_pr.json
+
+Reads every ``*.json`` benchmark export in the directory (skipping files
+that are not Google-Benchmark output) and emits a single JSON document:
+one compact row per benchmark, plus the fig13 thread-scaling ratios
+(throughput at N workers over the single-thread baseline, per algorithm)
+— the number the concurrency layer exists to improve.  The CI
+bench-smoke job prints this to the job log and uploads the raw exports
+as an artifact, so the perf trajectory of a branch is one artifact
+download away.
+"""
+
+import json
+import os
+import re
+import sys
+
+
+def load_exports(directory):
+    exports = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json") or name == "BENCH_pr.json":
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        # Require the full Google-Benchmark signature ("context" +
+        # "benchmarks"), so a prior summary — which also carries a
+        # "benchmarks" key — is never re-ingested and double-counted.
+        if isinstance(data, dict) and "context" in data and "benchmarks" in data:
+            exports[name] = data
+    return exports
+
+
+def row(bench):
+    out = {
+        "name": bench.get("name"),
+        "real_time": bench.get("real_time"),
+        "time_unit": bench.get("time_unit"),
+    }
+    for key in ("items_per_second", "result_size", "threads", "p95_us"):
+        if key in bench:
+            out[key] = bench[key]
+    return out
+
+
+def fig13_scaling(benchmarks):
+    """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
+    qps = {}  # algorithm -> {threads: items_per_second}
+    pattern = re.compile(r"^fig13/([^/]+)/threads:(\d+)")
+    for bench in benchmarks:
+        match = pattern.match(bench.get("name", ""))
+        if not match or "items_per_second" not in bench:
+            continue
+        alg, threads = match.group(1), int(match.group(2))
+        qps.setdefault(alg, {})[threads] = bench["items_per_second"]
+    scaling = {}
+    for alg, by_threads in sorted(qps.items()):
+        base = by_threads.get(1)
+        entry = {
+            "queries_per_second": {
+                str(t): round(v, 1) for t, v in sorted(by_threads.items())
+            }
+        }
+        if base:
+            entry["speedup_vs_1_thread"] = {
+                str(t): round(v / base, 2)
+                for t, v in sorted(by_threads.items())
+            }
+        scaling[alg] = entry
+    return scaling
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    directory = sys.argv[1]
+    exports = load_exports(directory)
+
+    summary = {
+        "commit": os.environ.get("GITHUB_SHA", "local"),
+        "ref": os.environ.get("GITHUB_REF", ""),
+        "sources": list(exports),
+        "benchmarks": [],
+    }
+    all_benchmarks = []
+    for name, data in exports.items():
+        for bench in data.get("benchmarks", []):
+            all_benchmarks.append(bench)
+            summary["benchmarks"].append(dict(row(bench), file=name))
+
+    scaling = fig13_scaling(all_benchmarks)
+    if scaling:
+        summary["fig13_thread_scaling"] = scaling
+
+    json.dump(summary, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

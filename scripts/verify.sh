@@ -2,8 +2,10 @@
 # Tier-1 verify: the exact recipe CI and the ROADMAP use.  Run from the
 # repo root (or anywhere — the script cd's to its own repo).
 #
-#   ./scripts/verify.sh            # Release
+#   ./scripts/verify.sh                          # Release
 #   BUILD_TYPE=Debug ./scripts/verify.sh
+#   FSI_WERROR=ON ./scripts/verify.sh            # strict build, as CI runs it
+#   FSI_SANITIZE=thread ./scripts/verify.sh      # TSan, as the tsan CI job
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,7 +13,14 @@ cd "$(dirname "$0")/.."
 BUILD_TYPE=${BUILD_TYPE:-Release}
 BUILD_DIR=${BUILD_DIR:-build}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+# Propagate the strictness/sanitizer knobs from the environment so a local
+# run can reproduce any CI job exactly.  Always passed (defaulting to OFF):
+# an unset variable must reset a previously-configured build dir, not
+# silently inherit a sanitizer from the CMake cache.
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  -DFSI_WERROR="${FSI_WERROR:-OFF}" \
+  -DFSI_SANITIZE="${FSI_SANITIZE:-OFF}"
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
-ctest --output-on-failure -j
+ctest --output-on-failure -j "$(nproc)"

@@ -7,14 +7,15 @@
 //   fsi::PreparedSet b = engine.Prepare(list_b);
 //   fsi::ElemList both = engine.Query({&a, &b}).Materialize();
 //
-// Pulls in the Engine/PreparedSet/Query API (api/engine.h), the algorithm
-// registry (api/registry.h) and, for callers that still drive algorithms
-// directly, the raw algorithm interface and legacy CreateAlgorithm shims
-// (core/intersector.h).
+// Pulls in the Engine/PreparedSet/Query API (api/engine.h), the concurrent
+// batch layer (api/batch_runner.h), the algorithm registry (api/registry.h)
+// and, for callers that still drive algorithms directly, the raw algorithm
+// interface and legacy CreateAlgorithm shims (core/intersector.h).
 
 #ifndef FSI_FSI_H_
 #define FSI_FSI_H_
 
+#include "api/batch_runner.h"  // BatchRunner, BatchStats, ThreadPool
 #include "api/engine.h"    // Engine, PreparedSet, Query, QueryStats
 #include "api/registry.h"  // AlgorithmRegistry, AlgorithmDescriptor
 #include "core/intersector.h"  // raw API + CreateAlgorithm shims

@@ -66,6 +66,55 @@ std::size_t InvertedIndex::CountMatching(
   return engine_.Query(sets).Unordered().Count();
 }
 
+std::vector<std::size_t> InvertedIndex::ResolveBatch(
+    TermQueries queries, std::vector<BatchQuery>* resolved) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  std::vector<std::size_t> origin;  // resolved slot -> query index
+  resolved->reserve(queries.size());
+  origin.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Empty and unknown-term queries short-circuit to an empty result
+    // (as Query does) without occupying the runner.
+    if (queries[i].empty()) continue;
+    BatchQuery sets;
+    if (Resolve(queries[i], &sets)) {
+      resolved->push_back(std::move(sets));
+      origin.push_back(i);
+    }
+  }
+  return origin;
+}
+
+std::vector<ElemList> InvertedIndex::BatchMatch(TermQueries queries,
+                                                BatchOptions options,
+                                                BatchStats* stats) const {
+  std::vector<BatchQuery> resolved;
+  std::vector<std::size_t> origin = ResolveBatch(queries, &resolved);
+  BatchRunner runner(engine_, options);
+  std::vector<ElemList> partial = runner.Materialize(resolved);
+  if (stats != nullptr) *stats = runner.stats();
+  std::vector<ElemList> out(queries.size());
+  for (std::size_t j = 0; j < partial.size(); ++j) {
+    out[origin[j]] = std::move(partial[j]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> InvertedIndex::BatchCount(TermQueries queries,
+                                                   BatchOptions options,
+                                                   BatchStats* stats) const {
+  std::vector<BatchQuery> resolved;
+  std::vector<std::size_t> origin = ResolveBatch(queries, &resolved);
+  BatchRunner runner(engine_, options);
+  std::vector<std::size_t> partial = runner.Count(resolved);
+  if (stats != nullptr) *stats = runner.stats();
+  std::vector<std::size_t> out(queries.size(), 0);
+  for (std::size_t j = 0; j < partial.size(); ++j) {
+    out[origin[j]] = partial[j];
+  }
+  return out;
+}
+
 std::size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
   auto it = dictionary_.find(std::string(term));
   return it == dictionary_.end() ? 0 : postings_[it->second].size();

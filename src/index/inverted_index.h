@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/batch_runner.h"
 #include "api/engine.h"
 
 namespace fsi {
@@ -49,6 +50,25 @@ class InvertedIndex {
   /// materializing them (the "result size estimation" workload).
   std::size_t CountMatching(std::span<const std::string> terms) const;
 
+  /// A batch of conjunctive term queries (a query log).
+  using TermQueries = std::span<const std::vector<std::string>>;
+
+  /// Executes a query log concurrently via fsi::BatchRunner: per-query
+  /// result vectors, index-aligned with `queries`.  Queries containing an
+  /// unknown term yield an empty result (as Query does).  Results are
+  /// identical to looping Query() single-threaded.  When `stats` is
+  /// non-null it receives the merged batch statistics.
+  std::vector<ElemList> BatchMatch(TermQueries queries,
+                                   BatchOptions options = {},
+                                   BatchStats* stats = nullptr) const;
+
+  /// Count-only batch: per-query match counts without handing out
+  /// document lists (results land in per-worker scratch buffers),
+  /// executed concurrently.
+  std::vector<std::size_t> BatchCount(TermQueries queries,
+                                      BatchOptions options = {},
+                                      BatchStats* stats = nullptr) const;
+
   /// Document frequency of a term (0 if unknown).
   std::size_t DocumentFrequency(std::string_view term) const;
 
@@ -63,6 +83,11 @@ class InvertedIndex {
   /// Resolves terms to prepared-set handles; false when a term is unknown.
   bool Resolve(std::span<const std::string> terms,
                std::vector<const PreparedSet*>* sets) const;
+
+  /// Resolves a query log into `resolved` (skipping empty/unknown-term
+  /// queries) and returns the origin map: resolved slot -> query index.
+  std::vector<std::size_t> ResolveBatch(
+      TermQueries queries, std::vector<BatchQuery>* resolved) const;
 
   Engine engine_;
   std::unordered_map<std::string, std::size_t> dictionary_;
