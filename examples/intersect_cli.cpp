@@ -5,11 +5,15 @@
 // them with the chosen algorithm, intersects, and prints the result (or
 // just its size and timing with --stats).
 //
-//   intersect_cli [--algorithm SPEC] [--stats] [--threshold T] FILE...
+//   intersect_cli [--algorithm SPEC] [--stats] [--threshold T]
+//                 [--force-scalar] FILE...
 //   intersect_cli --list
 //
 // SPEC is a registry spec: a name, optionally with options —
-// "RanGroupScan:m=2,w=4".  --list prints every registered algorithm.
+// "RanGroupScan:m=2,w=4".  --list prints every registered algorithm plus
+// the active SIMD kernel variant, so benchmark reports are
+// self-describing.  --force-scalar disables the vectorized kernels for
+// this run (equivalent to launching with FSI_FORCE_SCALAR=1).
 //
 // Examples:
 //   ./build/examples/intersect_cli a.txt b.txt
@@ -54,7 +58,17 @@ fsi::ElemList ReadSetFile(const std::string& path) {
   return set;
 }
 
+void PrintKernelVariant(std::FILE* stream) {
+  std::fprintf(stream, "kernel dispatch: %s (cpu supports %s%s)\n",
+               std::string(fsi::simd::LevelName(fsi::simd::ActiveLevel()))
+                   .c_str(),
+               std::string(fsi::simd::LevelName(fsi::simd::DetectCpuLevel()))
+                   .c_str(),
+               fsi::simd::ForceScalarEnv() ? "; FSI_FORCE_SCALAR set" : "");
+}
+
 void ListAlgorithms() {
+  PrintKernelVariant(stdout);
   std::printf("%-22s %-10s %-6s %s\n", "name", "structure", "max-k",
               "options (always: seed=<int>)");
   for (const fsi::AlgorithmDescriptor* d :
@@ -71,13 +85,16 @@ void ListAlgorithms() {
 void Usage() {
   std::fprintf(stderr,
                "usage: intersect_cli [--algorithm SPEC] [--stats] "
-               "[--threshold T] FILE...\n"
+               "[--threshold T] [--force-scalar] FILE...\n"
                "       intersect_cli --list\n"
                "  SPEC: registry spec, e.g. Merge, Hybrid (default), or\n"
                "        with options: RanGroupScan:m=2,w=4\n"
-               "  --list: print every registered algorithm and its options\n"
+               "  --list: print the active kernel variant, every registered\n"
+               "        algorithm and its options\n"
                "  --threshold T: elements in at least T of the input sets "
-               "(forces RanGroupScan)\n");
+               "(forces RanGroupScan)\n"
+               "  --force-scalar: disable SIMD kernels for this run "
+               "(= FSI_FORCE_SCALAR=1)\n");
   std::exit(1);
 }
 
@@ -89,6 +106,13 @@ int main(int argc, char** argv) {
   bool stats = false;
   std::size_t threshold = 0;
   std::vector<std::string> files;
+  // First pass: --force-scalar must act before anything resolves the
+  // kernel dispatch table (it is resolved once per process, on first use).
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--force-scalar") {
+      setenv("FSI_FORCE_SCALAR", "1", /*overwrite=*/1);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--algorithm" && i + 1 < argc) {
@@ -96,6 +120,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       ListAlgorithms();
       return 0;
+    } else if (arg == "--force-scalar") {
+      // handled in the first pass
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--threshold" && i + 1 < argc) {
@@ -166,6 +192,7 @@ int main(int argc, char** argv) {
   }
 
   if (stats) {
+    PrintKernelVariant(stderr);
     std::fprintf(stderr,
                  "sets: %zu  result: %zu elements  scanned: %zu elements  "
                  "preprocess: %.3f ms  query: %.3f ms  total: %.3f ms\n",

@@ -4,19 +4,76 @@
 Usage: bench_summary.py <dir-with-*.json> > BENCH_pr.json
 
 Reads every ``*.json`` benchmark export in the directory (skipping files
-that are not Google-Benchmark output) and emits a single JSON document:
-one compact row per benchmark, plus the fig13 thread-scaling ratios
-(throughput at N workers over the single-thread baseline, per algorithm)
-— the number the concurrency layer exists to improve.  The CI
-bench-smoke job prints this to the job log and uploads the raw exports
-as an artifact, so the perf trajectory of a branch is one artifact
-download away.
+that are not Google-Benchmark output) plus any ``fig07_real_workload.txt``
+text report, and emits a single JSON document: one compact row per
+benchmark, the fig13 thread-scaling ratios (throughput at N workers over
+the single-thread baseline, per algorithm), and — when the directory has
+a ``scalar/`` subdirectory holding a second run made with
+FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the per-benchmark
+scalar/simd time ratios, the number the SIMD kernel layer exists to
+improve.  The CI bench-smoke job prints this to the job log and uploads
+the raw exports as an artifact, so the perf trajectory of a branch is
+one artifact download away.
 """
 
 import json
 import os
 import re
 import sys
+
+
+FIG07_ROW = re.compile(
+    r"^(\w+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)%\s*$", re.MULTILINE)
+
+
+def load_fig07_text(directory):
+    """Rows of the fig07 text report, as benchmark-like dicts."""
+    path = os.path.join(directory, "fig07_real_workload.txt")
+    rows = []
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError:
+        return rows
+    for alg, normalized, mean_ms, win in FIG07_ROW.findall(text):
+        rows.append({
+            "name": "fig07/" + alg,
+            "real_time": float(mean_ms),
+            "time_unit": "ms",
+            "normalized_to_merge": float(normalized),
+            "win_share_percent": float(win),
+        })
+    return rows
+
+
+def simd_speedup(directory, benchmarks):
+    """scalar_time / simd_time per benchmark, from the scalar/ subdirectory.
+
+    The bench-smoke job runs the same subset twice — once as built
+    (CPU-dispatched SIMD kernels) into the artifact root, once with
+    FSI_FORCE_SCALAR=1 into scalar/.  Ratios > 1 mean the vectorized
+    kernels win.
+    """
+    scalar_dir = os.path.join(directory, "scalar")
+    if not os.path.isdir(scalar_dir):
+        return {}
+    scalar_rows = []
+    for data in load_exports(scalar_dir).values():
+        scalar_rows.extend(data.get("benchmarks", []))
+    scalar_rows.extend(load_fig07_text(scalar_dir))
+    scalar_times = {
+        b["name"]: b["real_time"]
+        for b in scalar_rows
+        if b.get("name") and b.get("real_time")
+    }
+    speedup = {}
+    for bench in benchmarks:
+        name = bench.get("name")
+        simd_time = bench.get("real_time")
+        scalar_time = scalar_times.get(name)
+        if name and simd_time and scalar_time:
+            speedup[name] = round(scalar_time / simd_time, 2)
+    return speedup
 
 
 def load_exports(directory):
@@ -94,10 +151,21 @@ def main():
         for bench in data.get("benchmarks", []):
             all_benchmarks.append(bench)
             summary["benchmarks"].append(dict(row(bench), file=name))
+    fig07_rows = load_fig07_text(directory)
+    if fig07_rows:
+        summary["sources"].append("fig07_real_workload.txt")
+    for bench in fig07_rows:
+        all_benchmarks.append(bench)
+        summary["benchmarks"].append(
+            dict(bench, file="fig07_real_workload.txt"))
 
     scaling = fig13_scaling(all_benchmarks)
     if scaling:
         summary["fig13_thread_scaling"] = scaling
+
+    speedup = simd_speedup(directory, all_benchmarks)
+    if speedup:
+        summary["simd_speedup"] = speedup
 
     json.dump(summary, sys.stdout, indent=2)
     print()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate cross-references in the repo's Markdown docs.
+
+Usage: check_doc_links.py [repo-root]
+
+Scans README.md and docs/*.md for Markdown links and checks that
+
+* relative file links point at files that exist in the repo, and
+* intra-document anchors (``#section``) match a heading in the target.
+
+External (http/https/mailto) links are not fetched — CI must not depend
+on the network — but their syntax is still parsed.  Exits non-zero with
+one line per broken reference, so the CI step fails loudly when a doc
+rename or move leaves a dangling link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def heading_anchor(heading):
+    """GitHub-style anchor: lowercase, spaces to dashes, strip punctuation."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def anchors_in(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # '#' lines inside fenced code blocks are not headings.
+    text = FENCE_RE.sub("", text)
+    anchors = set()
+    seen = {}
+    for heading in HEADING_RE.findall(text):
+        anchor = heading_anchor(heading)
+        # GitHub suffixes duplicate headings: second "Options" -> options-1.
+        count = seen.get(anchor, 0)
+        seen[anchor] = count + 1
+        anchors.add(anchor if count == 0 else f"{anchor}-{count}")
+    return anchors
+
+
+def doc_files(root):
+    files = []
+    for name in ("README.md", "CHANGES.md", "ROADMAP.md"):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            files.append(path)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check(root):
+    errors = []
+    for doc in doc_files(root):
+        with open(doc, encoding="utf-8") as f:
+            text = f.read()
+        rel_doc = os.path.relpath(doc, root)
+        for target in LINK_RE.findall(text):
+            if target.startswith(EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:  # pure in-page anchor
+                if fragment and heading_anchor(fragment) not in anchors_in(doc):
+                    errors.append(f"{rel_doc}: broken anchor '#{fragment}'")
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(doc), path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_doc}: broken link '{target}'")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if heading_anchor(fragment) not in anchors_in(resolved):
+                    errors.append(
+                        f"{rel_doc}: broken anchor '{target}'")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = check(root)
+    for error in errors:
+        print(error)
+    if errors:
+        sys.exit(f"{len(errors)} broken doc reference(s)")
+    print(f"doc links OK ({len(doc_files(root))} files checked)")
+
+
+if __name__ == "__main__":
+    main()

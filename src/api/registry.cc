@@ -19,6 +19,7 @@
 #include "core/intersector.h"
 #include "core/ran_group.h"
 #include "core/ran_group_scan.h"
+#include "simd/intersect_kernels.h"
 
 namespace fsi {
 
@@ -72,6 +73,20 @@ std::uint64_t ParseUint64(const AlgorithmOptions& /*ctx*/,
                                 buf + "'");
   }
   return static_cast<std::uint64_t>(v);
+}
+
+/// Consumes the shared "simd" option key (auto|off; also on/1/scalar/0),
+/// defaulting to the CPU-dispatched kernels.
+simd::Mode TakeSimd(AlgorithmOptions& o) {
+  std::optional<std::string_view> raw = o.Take("simd");
+  if (!raw) return simd::Mode::kAuto;
+  try {
+    return simd::ParseMode(*raw);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(std::string(o.algorithm()) +
+                                ": option 'simd' expects auto|off, got '" +
+                                std::string(*raw) + "'");
+  }
 }
 
 }  // namespace
@@ -149,8 +164,9 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     // --- The Section 4 cast (uncompressed), in the historical listing
     // order of UncompressedAlgorithmNames(). -------------------------------
     r->Register({.name = "Merge",
-                 .make = [](AlgorithmOptions&) {
-                   return std::make_unique<MergeIntersection>();
+                 .options_help = "simd=auto|off",
+                 .make = [](AlgorithmOptions& o) {
+                   return std::make_unique<MergeIntersection>(TakeSimd(o));
                  }});
     r->Register({.name = "SkipList",
                  .make = [](AlgorithmOptions& o) {
@@ -172,16 +188,18 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                        o.TakeInt("bucket", 32));
                  }});
     r->Register({.name = "SvS",
-                 .make = [](AlgorithmOptions&) {
-                   return std::make_unique<SvsIntersection>();
+                 .options_help = "simd=auto|off",
+                 .make = [](AlgorithmOptions& o) {
+                   return std::make_unique<SvsIntersection>(TakeSimd(o));
                  }});
     r->Register({.name = "Adaptive",
                  .make = [](AlgorithmOptions&) {
                    return std::make_unique<AdaptiveIntersection>();
                  }});
     r->Register({.name = "BaezaYates",
-                 .make = [](AlgorithmOptions&) {
-                   return std::make_unique<BaezaYatesIntersection>();
+                 .options_help = "simd=auto|off",
+                 .make = [](AlgorithmOptions& o) {
+                   return std::make_unique<BaezaYatesIntersection>(TakeSimd(o));
                  }});
     r->Register({.name = "SmallAdaptive",
                  .make = [](AlgorithmOptions&) {
@@ -189,11 +207,12 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                  }});
     r->Register({.name = "IntGroup",
                  .max_query_sets = 2,
-                 .options_help = "s=<group size>",
+                 .options_help = "s=<group size>,simd=auto|off",
                  .make = [](AlgorithmOptions& o) {
                    IntGroupIntersection::Options opts;
                    opts.seed = o.seed();
                    opts.group_size = o.TakeSize("s", opts.group_size);
+                   opts.simd = TakeSimd(o);
                    return std::make_unique<IntGroupIntersection>(opts);
                  }});
     r->Register({.name = "RanGroup",
@@ -213,15 +232,18 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
       opts.m = o.TakeInt("m", default_m);
       opts.group_width = o.TakeSize("w", opts.group_width);
       opts.memoize = o.TakeBool("memoize", opts.memoize);
+      opts.simd = TakeSimd(o);
       return std::make_unique<RanGroupScanIntersection>(opts);
     };
     r->Register({.name = "RanGroupScan",
-                 .options_help = "m=<images>,w=<group width>,memoize=<bool>",
+                 .options_help =
+                     "m=<images>,w=<group width>,memoize=<bool>,simd=auto|off",
                  .make = [make_scan](AlgorithmOptions& o) {
                    return make_scan(o, 4);
                  }});
     r->Register({.name = "RanGroupScan2",
-                 .options_help = "m=<images>,w=<group width>,memoize=<bool>",
+                 .options_help =
+                     "m=<images>,w=<group width>,memoize=<bool>,simd=auto|off",
                  .hidden = true,  // alias: RanGroupScan with m = 2
                  .make = [make_scan](AlgorithmOptions& o) {
                    return make_scan(o, 2);
@@ -235,7 +257,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     r->Register({.name = "Hybrid",
                  .options_help =
                      "skew_threshold=<ratio>,m=<images>,w=<group width>,"
-                     "memoize=<bool>",
+                     "memoize=<bool>,simd=auto|off",
                  .make = [](AlgorithmOptions& o) {
                    HybridIntersection::Options opts;
                    opts.scan.seed = o.seed();
@@ -243,6 +265,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                    opts.scan.group_width =
                        o.TakeSize("w", opts.scan.group_width);
                    opts.scan.memoize = o.TakeBool("memoize", opts.scan.memoize);
+                   opts.scan.simd = TakeSimd(o);
                    opts.skew_threshold =
                        o.TakeDouble("skew_threshold", opts.skew_threshold);
                    return std::make_unique<HybridIntersection>(opts);

@@ -9,26 +9,28 @@ namespace fsi {
 namespace {
 
 // Recursive core: intersect small[slo, shi) with big[blo, bhi), appending
-// matches in sorted order.
-void ByRecurse(std::span<const Elem> small, std::size_t slo, std::size_t shi,
-               std::span<const Elem> big, std::size_t blo, std::size_t bhi,
-               ElemList* out) {
+// matches in sorted order.  The median probe goes through the kernel
+// layer: scalar std::lower_bound under simd=off, a vectorized final
+// window otherwise — the returned index (and thus the output) is
+// identical.
+void ByRecurse(const simd::Kernels& kernels, std::span<const Elem> small,
+               std::size_t slo, std::size_t shi, std::span<const Elem> big,
+               std::size_t blo, std::size_t bhi, ElemList* out) {
   if (slo >= shi || blo >= bhi) return;
   // Always recurse on the smaller of the two ranges.
   if (shi - slo > bhi - blo) {
-    ByRecurse(big, blo, bhi, small, slo, shi, out);
+    ByRecurse(kernels, big, blo, bhi, small, slo, shi, out);
     return;
   }
   std::size_t mid = slo + (shi - slo) / 2;
   Elem median = small[mid];
-  auto first = big.begin() + static_cast<std::ptrdiff_t>(blo);
-  auto last = big.begin() + static_cast<std::ptrdiff_t>(bhi);
-  auto it = std::lower_bound(first, last, median);
-  auto bpos = static_cast<std::size_t>(it - big.begin());
-  bool found = it != last && *it == median;
-  ByRecurse(small, slo, mid, big, blo, bpos, out);
+  std::size_t bpos =
+      blo + kernels.lower_bound(big.data() + blo, bhi - blo, median);
+  bool found = bpos != bhi && big[bpos] == median;
+  ByRecurse(kernels, small, slo, mid, big, blo, bpos, out);
   if (found) out->push_back(median);
-  ByRecurse(small, mid + 1, shi, big, bpos + (found ? 1 : 0), bhi, out);
+  ByRecurse(kernels, small, mid + 1, shi, big, bpos + (found ? 1 : 0), bhi,
+            out);
 }
 
 }  // namespace
@@ -48,7 +50,7 @@ void BaezaYatesIntersection::Intersect(
   for (std::size_t s = 1; s < sorted.size() && !out->empty(); ++s) {
     std::span<const Elem> big = sorted[s]->elems();
     next.clear();
-    ByRecurse(*out, 0, out->size(), big, 0, big.size(), &next);
+    ByRecurse(*kernels_, *out, 0, out->size(), big, 0, big.size(), &next);
     out->swap(next);
   }
 }

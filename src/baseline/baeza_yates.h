@@ -16,11 +16,19 @@
 #include <string_view>
 
 #include "core/algorithm.h"
+#include "simd/intersect_kernels.h"
 
 namespace fsi {
 
 class BaezaYatesIntersection : public IntersectionAlgorithm {
  public:
+  /// `simd` selects the median-probe kernel tier (registry option
+  /// "BaezaYates:simd=auto|off"): each recursion step binary-searches the
+  /// median in the larger range; the vector tiers resolve the final search
+  /// window with broadcast compares.
+  explicit BaezaYatesIntersection(simd::Mode simd = simd::Mode::kAuto)
+      : kernels_(&simd::Select(simd)) {}
+
   std::string_view name() const override { return "BaezaYates"; }
 
   std::unique_ptr<PreprocessedSet> Preprocess(
@@ -28,6 +36,9 @@ class BaezaYatesIntersection : public IntersectionAlgorithm {
 
   void Intersect(std::span<const PreprocessedSet* const> sets,
                  ElemList* out) const override;
+
+ private:
+  const simd::Kernels* kernels_;
 };
 
 }  // namespace fsi

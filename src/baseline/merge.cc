@@ -14,23 +14,11 @@ std::unique_ptr<PreprocessedSet> MergeIntersection::Preprocess(
 
 void MergeIntersect(std::span<const Elem> a, std::span<const Elem> b,
                     ElemList* out) {
-  const Elem* pa = a.data();
-  const Elem* ea = pa + a.size();
-  const Elem* pb = b.data();
-  const Elem* eb = pb + b.size();
-  while (pa < ea && pb < eb) {
-    Elem va = *pa;
-    Elem vb = *pb;
-    if (va == vb) {
-      out->push_back(va);
-      ++pa;
-      ++pb;
-    } else {
-      // Branch-light advance: exactly one cursor moves.
-      pa += (va < vb);
-      pb += (vb < va);
-    }
-  }
+  // The scalar kernel is the original branch-light two-pointer loop; this
+  // free function stays scalar on purpose — it is the ground truth the
+  // tests compare every vectorized path against.
+  simd::ScalarKernels().intersect_pair(a.data(), a.size(), b.data(), b.size(),
+                                       out);
 }
 
 void MergeIntersectK(std::span<const std::span<const Elem>> lists,
@@ -80,6 +68,14 @@ void MergeIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
   lists.reserve(sets.size());
   for (const PreprocessedSet* s : sets) {
     lists.push_back(As<PlainSet>(*s).elems());
+  }
+  if (lists.size() == 2) {
+    // The dominant query shape takes the kernel layer: block-wise merge on
+    // SSE/AVX2 machines, the classic two-pointer loop under simd=off /
+    // FSI_FORCE_SCALAR.  Identical output either way.
+    kernels_->intersect_pair(lists[0].data(), lists[0].size(),
+                             lists[1].data(), lists[1].size(), out);
+    return;
   }
   MergeIntersectK(lists, out);
 }

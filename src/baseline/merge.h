@@ -17,11 +17,19 @@
 #include <string_view>
 
 #include "core/algorithm.h"
+#include "simd/intersect_kernels.h"
 
 namespace fsi {
 
 class MergeIntersection : public IntersectionAlgorithm {
  public:
+  /// `simd` selects the two-set inner-loop kernel tier: kAuto runs the
+  /// CPU-dispatched block merge (registry spec "Merge" or "Merge:simd=auto"),
+  /// kOff the scalar two-pointer loop ("Merge:simd=off").  Results are
+  /// bit-identical either way.
+  explicit MergeIntersection(simd::Mode simd = simd::Mode::kAuto)
+      : kernels_(&simd::Select(simd)) {}
+
   std::string_view name() const override { return "Merge"; }
 
   std::unique_ptr<PreprocessedSet> Preprocess(
@@ -29,6 +37,9 @@ class MergeIntersection : public IntersectionAlgorithm {
 
   void Intersect(std::span<const PreprocessedSet* const> sets,
                  ElemList* out) const override;
+
+ private:
+  const simd::Kernels* kernels_;
 };
 
 /// Free-function two-pointer intersection of raw sorted spans; reused by the

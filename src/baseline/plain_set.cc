@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/intersect_kernels.h"
+
 namespace fsi {
 
 std::vector<const PlainSet*> SortBySize(
@@ -20,22 +22,9 @@ std::vector<const PlainSet*> SortBySize(
 
 std::size_t GallopGreaterEqual(std::span<const Elem> sorted, std::size_t lo,
                                Elem x) {
-  std::size_t n = sorted.size();
-  if (lo >= n || sorted[lo] >= x) return lo;
-  // Exponential probe: double the step until we overshoot.
-  std::size_t step = 1;
-  std::size_t prev = lo;
-  std::size_t cur = lo + 1;
-  while (cur < n && sorted[cur] < x) {
-    prev = cur;
-    step *= 2;
-    cur = lo + step;
-  }
-  if (cur > n) cur = n;
-  // Binary search in (prev, cur].
-  auto it = std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(prev) + 1,
-                             sorted.begin() + static_cast<std::ptrdiff_t>(cur), x);
-  return static_cast<std::size_t>(it - sorted.begin());
+  // One definition for the whole library: the scalar kernel is the original
+  // exponential-probe + binary-search loop (src/simd/intersect_kernels.cc).
+  return simd::ScalarKernels().gallop_ge(sorted.data(), sorted.size(), lo, x);
 }
 
 }  // namespace fsi

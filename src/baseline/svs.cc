@@ -24,7 +24,7 @@ void SvsIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
     next.reserve(out->size());
     std::size_t cursor = 0;
     for (Elem x : *out) {
-      cursor = GallopGreaterEqual(big, cursor, x);
+      cursor = kernels_->gallop_ge(big.data(), big.size(), cursor, x);
       if (cursor == big.size()) break;
       if (big[cursor] == x) next.push_back(x);
     }

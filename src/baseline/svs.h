@@ -14,11 +14,18 @@
 #include <string_view>
 
 #include "core/algorithm.h"
+#include "simd/intersect_kernels.h"
 
 namespace fsi {
 
 class SvsIntersection : public IntersectionAlgorithm {
  public:
+  /// `simd` selects the gallop-probe kernel tier (registry option
+  /// "SvS:simd=auto|off"): the exponential probe is identical, but the
+  /// bracketed window resolves via broadcast-compare on the vector tiers.
+  explicit SvsIntersection(simd::Mode simd = simd::Mode::kAuto)
+      : kernels_(&simd::Select(simd)) {}
+
   std::string_view name() const override { return "SvS"; }
 
   std::unique_ptr<PreprocessedSet> Preprocess(
@@ -26,6 +33,9 @@ class SvsIntersection : public IntersectionAlgorithm {
 
   void Intersect(std::span<const PreprocessedSet* const> sets,
                  ElemList* out) const override;
+
+ private:
+  const simd::Kernels* kernels_;
 };
 
 }  // namespace fsi

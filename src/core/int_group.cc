@@ -57,7 +57,9 @@ std::size_t FixedGroupSet::SizeInWords() const {
 }
 
 IntGroupIntersection::IntGroupIntersection(const Options& options)
-    : options_(options), h_(SplitMix64(options.seed).Next()) {
+    : options_(options),
+      h_(SplitMix64(options.seed).Next()),
+      kernels_(&simd::Select(options.simd)) {
   if (options.group_size < 1 || options.group_size > 256) {
     throw std::invalid_argument("IntGroup: group_size must be in [1, 256]");
   }
@@ -74,12 +76,24 @@ namespace {
 /// then merge the contiguous h-runs per surviving y.  Appends matches in
 /// (y, value) order; the caller restores global value order with one final
 /// sort.
-void IntersectSmall(const FixedGroupSet& a, std::size_t p,
-                    const FixedGroupSet& b, std::size_t q, ElemList* out) {
+void IntersectSmall(const simd::Kernels& kernels, const FixedGroupSet& a,
+                    std::size_t p, const FixedGroupSet& b, std::size_t q,
+                    ElemList* out) {
   Word h_and = a.Image(p) & b.Image(q);
   if (h_and == 0) return;
   auto [alo, ahi] = a.GroupRange(p);
   auto [blo, bhi] = b.GroupRange(q);
+  if (simd::Vectorized(kernels) && ahi - alo <= 64 && bhi - blo <= 64) {
+    // Vector tiers probe group a against group b directly: one broadcast
+    // compare covers 4/8 elements of b, no run bookkeeping.  Emission in
+    // a's storage order is (h(x), x) order — exactly the (y, value) order
+    // the scalar run merge below produces, since h is shared, so the two
+    // strategies are bit-identical.  Very large configured groups (s > 64)
+    // would make the all-pairs probe quadratic; they take the scalar path.
+    kernels.match_any(a.elems().data() + alo, ahi - alo,
+                      b.elems().data() + blo, bhi - blo, out);
+    return;
+  }
   std::span<const std::uint8_t> ha = a.hvals();
   std::span<const std::uint8_t> hb = b.hvals();
   std::span<const Elem> ea = a.elems();
@@ -142,7 +156,7 @@ void IntGroupIntersection::IntersectUnordered(
     } else if (a.GroupMin(p) > b.GroupMax(q)) {
       ++q;
     } else {
-      IntersectSmall(a, p, b, q, out);
+      IntersectSmall(*kernels_, a, p, b, q, out);
       if (a.GroupMax(p) < b.GroupMax(q)) {
         ++p;
       } else {

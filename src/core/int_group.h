@@ -30,6 +30,7 @@
 
 #include "core/algorithm.h"
 #include "hash/universal_hash.h"
+#include "simd/intersect_kernels.h"
 #include "util/bits.h"
 
 namespace fsi {
@@ -77,6 +78,11 @@ class IntGroupIntersection : public IntersectionAlgorithm {
     /// Elements per group; the paper's choice is sqrt(w) = 8 (Theorem 3.3
     /// and A.1.1 analyse the trade-off).
     std::size_t group_size = kSqrtWordBits;
+    /// Kernel tier for the group-vs-group comparison (registry option key
+    /// "simd": auto|off).  The vector tiers compare one element against a
+    /// whole group per broadcast; the scalar tier walks the (h, x)-ordered
+    /// runs.  Output is bit-identical either way.
+    simd::Mode simd = simd::Mode::kAuto;
   };
 
   IntGroupIntersection() : IntGroupIntersection(Options()) {}
@@ -98,6 +104,7 @@ class IntGroupIntersection : public IntersectionAlgorithm {
  private:
   Options options_;
   WordHash h_;
+  const simd::Kernels* kernels_;
 };
 
 }  // namespace fsi

@@ -52,7 +52,8 @@ RanGroupScanIntersection::RanGroupScanIntersection(const Options& options)
       name_("RanGroupScan"),
       g_(options.universe_bits, SplitMix64(options.seed).Next()),
       hashes_(options.m, SplitMix64(options.seed ^ 0xc0ac29b7c97c50ddULL)
-                             .Next()) {
+                             .Next()),
+      kernels_(&simd::Select(options.simd)) {
   if (options.m < 1) {
     throw std::invalid_argument("RanGroupScan: m must be >= 1");
   }
@@ -151,22 +152,14 @@ void RanGroupScanIntersection::IntersectUnordered(
             }
           }
           if (!survives) continue;
+          // The surviving group pair resolves through the kernel layer:
+          // one broadcast compares a g-value against a whole group on the
+          // vector tiers (the paper's word-level group-vs-element idea at
+          // lane width), the scalar tier is the original two-pointer loop.
           auto [alo, ahi] = a.GroupRange(z);
           auto [blo, bhi] = b2.GroupRange(z);
-          std::uint32_t ia = alo;
-          std::uint32_t ib = blo;
-          while (ia < ahi && ib < bhi) {
-            std::uint32_t va = ga[ia];
-            std::uint32_t vb = gb[ib];
-            if (va == vb) {
-              result_gvals.push_back(va);
-              ++ia;
-              ++ib;
-            } else {
-              ia += (va < vb);
-              ib += (vb < va);
-            }
-          }
+          kernels_->intersect_pair(ga.data() + alo, ahi - alo,
+                                   gb.data() + blo, bhi - blo, &result_gvals);
         }
         goto done_two_set;
       }
@@ -191,20 +184,8 @@ void RanGroupScanIntersection::IntersectUnordered(
         }
         if (survives) {
           auto [blo, bhi] = b2.GroupRange(z2);  // group z2 == the window
-          std::uint32_t ia = ca;
-          std::uint32_t ib = blo;
-          while (ia < ra && ib < bhi) {
-            std::uint32_t va = ga[ia];
-            std::uint32_t vb = gb[ib];
-            if (va == vb) {
-              result_gvals.push_back(va);
-              ++ia;
-              ++ib;
-            } else {
-              ia += (va < vb);
-              ib += (vb < va);
-            }
-          }
+          kernels_->intersect_pair(ga.data() + ca, ra - ca,
+                                   gb.data() + blo, bhi - blo, &result_gvals);
         }
         ca = ra;
       }

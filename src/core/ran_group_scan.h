@@ -34,6 +34,7 @@
 #include "core/algorithm.h"
 #include "hash/feistel.h"
 #include "hash/universal_hash.h"
+#include "simd/intersect_kernels.h"
 #include "util/bits.h"
 
 namespace fsi {
@@ -97,6 +98,10 @@ class RanGroupScanIntersection : public IntersectionAlgorithm {
     /// sqrt(w) = 8; wider groups trade filtering effectiveness for fewer
     /// image words (registry option key "w").
     std::size_t group_width = kSqrtWordBits;
+    /// Kernel tier for the two-set group merges (registry option key
+    /// "simd": auto|off).  kAuto dispatches on the CPU at startup; kOff
+    /// keeps the scalar loops.  Output is bit-identical either way.
+    simd::Mode simd = simd::Mode::kAuto;
   };
 
   RanGroupScanIntersection() : RanGroupScanIntersection(Options()) {}
@@ -122,6 +127,7 @@ class RanGroupScanIntersection : public IntersectionAlgorithm {
   std::string name_;
   FeistelPermutation g_;
   WordHashFamily hashes_;
+  const simd::Kernels* kernels_;
 };
 
 }  // namespace fsi

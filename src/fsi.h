@@ -19,5 +19,6 @@
 #include "api/engine.h"    // Engine, PreparedSet, Query, QueryStats
 #include "api/registry.h"  // AlgorithmRegistry, AlgorithmDescriptor
 #include "core/intersector.h"  // raw API + CreateAlgorithm shims
+#include "simd/cpu_features.h"  // SIMD dispatch introspection (ActiveLevel)
 
 #endif  // FSI_FSI_H_
