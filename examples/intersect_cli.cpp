@@ -5,18 +5,23 @@
 // them with the chosen algorithm, intersects, and prints the result (or
 // just its size and timing with --stats).
 //
-//   intersect_cli [--algorithm SPEC] [--stats] [--threshold T]
+//   intersect_cli [--algorithm SPEC] [--stats] [--explain] [--threshold T]
 //                 [--force-scalar] FILE...
 //   intersect_cli --list
 //
-// SPEC is a registry spec: a name, optionally with options —
-// "RanGroupScan:m=2,w=4".  --list prints every registered algorithm plus
-// the active SIMD kernel variant, so benchmark reports are
-// self-describing.  --force-scalar disables the vectorized kernels for
-// this run (equivalent to launching with FSI_FORCE_SCALAR=1).
+// By default the cost-model planner picks the algorithm per query
+// (docs/PLANNER.md); SPEC overrides it with any registry spec — a name,
+// optionally with options: "RanGroupScan:m=2,w=4".  --explain prints the
+// chosen plan (set order, algorithm per step, predicted cost) and the
+// predicted-vs-measured summary instead of the result elements.  --list
+// prints every registered algorithm — including whether it exposes a cost
+// hook to the planner — plus the active SIMD kernel variant, so benchmark
+// reports are self-describing.  --force-scalar disables the vectorized
+// kernels for this run (equivalent to launching with FSI_FORCE_SCALAR=1).
 //
 // Examples:
 //   ./build/examples/intersect_cli a.txt b.txt
+//   ./build/examples/intersect_cli --explain a.txt b.txt c.txt
 //   ./build/examples/intersect_cli --algorithm Merge --stats a.txt b.txt c.txt
 //   ./build/examples/intersect_cli --algorithm RanGroupScan:m=2 a.txt b.txt
 //   ./build/examples/intersect_cli --threshold 2 a.txt b.txt c.txt
@@ -69,15 +74,18 @@ void PrintKernelVariant(std::FILE* stream) {
 
 void ListAlgorithms() {
   PrintKernelVariant(stdout);
-  std::printf("%-22s %-10s %-6s %s\n", "name", "structure", "max-k",
-              "options (always: seed=<int>)");
+  std::printf("%-22s %-10s %-6s %-5s %s\n", "name", "structure", "max-k",
+              "cost", "options (always: seed=<int>)");
   for (const fsi::AlgorithmDescriptor* d :
        fsi::AlgorithmRegistry::Global().Descriptors(/*include_hidden=*/true)) {
     std::string max_k = d->max_query_sets == SIZE_MAX
                             ? "any"
                             : std::to_string(d->max_query_sets);
-    std::printf("%-22s %-10s %-6s %s\n", d->name.c_str(),
+    // "cost": whether the algorithm exposes a cost hook, i.e. whether the
+    // planner can select it (docs/PLANNER.md).
+    std::printf("%-22s %-10s %-6s %-5s %s\n", d->name.c_str(),
                 d->compressed ? "compressed" : "plain", max_k.c_str(),
+                d->cost != nullptr ? "yes" : "-",
                 d->options_help.empty() ? "-" : d->options_help.c_str());
   }
 }
@@ -85,12 +93,17 @@ void ListAlgorithms() {
 void Usage() {
   std::fprintf(stderr,
                "usage: intersect_cli [--algorithm SPEC] [--stats] "
-               "[--threshold T] [--force-scalar] FILE...\n"
+               "[--explain] [--threshold T] [--force-scalar] FILE...\n"
                "       intersect_cli --list\n"
-               "  SPEC: registry spec, e.g. Merge, Hybrid (default), or\n"
-               "        with options: RanGroupScan:m=2,w=4\n"
+               "  SPEC: registry spec, e.g. Merge, Planner (default: the\n"
+               "        cost-model planner), or with options: "
+               "RanGroupScan:m=2,w=4\n"
+               "  --explain: print the chosen plan and predicted vs "
+               "measured cost\n"
+               "        instead of the result elements\n"
                "  --list: print the active kernel variant, every registered\n"
-               "        algorithm and its options\n"
+               "        algorithm, whether it exposes a cost hook, and its "
+               "options\n"
                "  --threshold T: elements in at least T of the input sets "
                "(forces RanGroupScan)\n"
                "  --force-scalar: disable SIMD kernels for this run "
@@ -102,8 +115,9 @@ void Usage() {
 
 int main(int argc, char** argv) {
   using namespace fsi;
-  std::string algorithm_spec = "Hybrid";
+  std::string algorithm_spec = "Planner";
   bool stats = false;
+  bool explain = false;
   std::size_t threshold = 0;
   std::vector<std::string> files;
   // First pass: --force-scalar must act before anything resolves the
@@ -124,6 +138,8 @@ int main(int argc, char** argv) {
       // handled in the first pass
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--threshold" && i + 1 < argc) {
       threshold = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -133,6 +149,12 @@ int main(int argc, char** argv) {
     }
   }
   if (files.size() < 2) Usage();
+  if (explain && threshold > 0) {
+    std::fprintf(stderr,
+                 "error: --explain does not apply to --threshold queries "
+                 "(they always run on RanGroupScan structures)\n");
+    return 1;
+  }
 
   std::vector<ElemList> sets;
   for (const auto& f : files) sets.push_back(ReadSetFile(f));
@@ -189,6 +211,12 @@ int main(int argc, char** argv) {
     QueryStats qs = query.ExecuteInto(&result);
     query_ms = qs.wall_micros / 1000.0;
     elements_scanned = qs.elements_scanned;
+    if (explain) {
+      std::printf("%s", query.Explain().ToString().c_str());
+      std::printf("predicted: %.1f us  measured: %.1f us  result: %zu "
+                  "elements\n",
+                  qs.predicted_micros, qs.wall_micros, result.size());
+    }
   }
 
   if (stats) {
@@ -198,7 +226,7 @@ int main(int argc, char** argv) {
                  "preprocess: %.3f ms  query: %.3f ms  total: %.3f ms\n",
                  sets.size(), result.size(), elements_scanned, preprocess_ms,
                  query_ms, total.ElapsedMillis());
-  } else {
+  } else if (!explain) {
     for (Elem x : result) std::printf("%u\n", x);
   }
   return 0;

@@ -15,11 +15,12 @@ int main() {
   ElemList rock = {2, 3, 5, 8, 13, 21, 34, 55, 89, 144};
   ElemList jazz = {1, 2, 4, 8, 16, 32, 64, 128};
 
-  // Pick an algorithm by registry spec.  "Hybrid" is the recommended
-  // default: it switches between RanGroupScan (balanced sizes) and HashBin
-  // (skewed sizes) per query, as the paper suggests (Section 3.4).
-  // Options ride along in the spec, e.g. "RanGroupScan:m=2,w=4".
-  Engine engine("Hybrid");
+  // Zero-config: the default engine is the cost-model planner, which
+  // picks the intersection algorithm per query from the set sizes and
+  // calibrated machine constants (docs/PLANNER.md).  An explicit registry
+  // spec — Engine("Hybrid"), Engine("RanGroupScan:m=2,w=4") — pins one
+  // algorithm instead.
+  Engine engine;
 
   // Pre-processing happens once per set (think: index build time).  The
   // returned PreparedSet owns its structure *and* a reference to the
@@ -53,5 +54,9 @@ int main() {
   std::printf("one-liner agrees: %s  (scanned %zu elements in %.1f us)\n",
               same == both ? "yes" : "no", query.stats().elements_scanned,
               query.stats().wall_micros);
+
+  // Explain() shows what the planner chose and what it predicted; compare
+  // stats().predicted_micros with stats().wall_micros after running.
+  std::printf("%s", query.Explain().ToString().c_str());
   return 0;
 }

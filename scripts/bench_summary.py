@@ -5,15 +5,18 @@ Usage: bench_summary.py <dir-with-*.json> > BENCH_pr.json
 
 Reads every ``*.json`` benchmark export in the directory (skipping files
 that are not Google-Benchmark output) plus any ``fig07_real_workload.txt``
-text report, and emits a single JSON document: one compact row per
-benchmark, the fig13 thread-scaling ratios (throughput at N workers over
-the single-thread baseline, per algorithm), and — when the directory has
-a ``scalar/`` subdirectory holding a second run made with
-FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the per-benchmark
-scalar/simd time ratios, the number the SIMD kernel layer exists to
-improve.  The CI bench-smoke job prints this to the job log and uploads
-the raw exports as an artifact, so the perf trajectory of a branch is
-one artifact download away.
+and ``fig_planner.txt`` text reports, and emits a single JSON document:
+one compact row per benchmark, the fig13 thread-scaling ratios
+(throughput at N workers over the single-thread baseline, per algorithm),
+a ``planner_vs_best_static`` section condensing the fig_planner report
+(planner mean time over the best/worst static choice, per query class,
+plus the cost-model prediction accuracy — the numbers CI gates on), and —
+when the directory has a ``scalar/`` subdirectory holding a second run
+made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
+per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
+exists to improve.  The CI bench-smoke job prints this to the job log and
+uploads the raw exports as an artifact, so the perf trajectory of a
+branch is one artifact download away.
 """
 
 import json
@@ -22,8 +25,39 @@ import re
 import sys
 
 
-FIG07_ROW = re.compile(
+# Shared row shape of the fig07 and fig_planner text tables:
+# <algorithm> <number> <number> <percent>%
+TABLE_ROW = re.compile(
     r"^(\w+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)%\s*$", re.MULTILINE)
+
+PLANNER_METRIC = re.compile(
+    r"^(planner_vs_\w+|predicted_within_2x)\s+([\d.]+)\s*$", re.MULTILINE)
+
+
+def load_planner_text(directory):
+    """The fig_planner report as one summary section (or None)."""
+    path = os.path.join(directory, "fig_planner.txt")
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError:
+        return None
+    section = {"mean_ms": {}, "vs_best_by_k": {}}
+    for alg, mean_ms, worst_ms, win in TABLE_ROW.findall(text):
+        section["mean_ms"][alg] = float(mean_ms)
+    for key, value in PLANNER_METRIC.findall(text):
+        if key == "planner_vs_best_static":
+            section["vs_best_overall"] = float(value)
+        elif key == "planner_vs_worst_static":
+            section["vs_worst_overall"] = float(value)
+        elif key == "predicted_within_2x":
+            section["predicted_within_2x"] = float(value)
+        elif key.startswith("planner_vs_best_k"):
+            section["vs_best_by_k"][key[len("planner_vs_best_k"):]] = (
+                float(value))
+    if "vs_best_overall" not in section:
+        return None
+    return section
 
 
 def load_fig07_text(directory):
@@ -35,7 +69,7 @@ def load_fig07_text(directory):
             text = f.read()
     except OSError:
         return rows
-    for alg, normalized, mean_ms, win in FIG07_ROW.findall(text):
+    for alg, normalized, mean_ms, win in TABLE_ROW.findall(text):
         rows.append({
             "name": "fig07/" + alg,
             "real_time": float(mean_ms),
@@ -162,6 +196,11 @@ def main():
     scaling = fig13_scaling(all_benchmarks)
     if scaling:
         summary["fig13_thread_scaling"] = scaling
+
+    planner = load_planner_text(directory)
+    if planner:
+        summary["sources"].append("fig_planner.txt")
+        summary["planner_vs_best_static"] = planner
 
     speedup = simd_speedup(directory, all_benchmarks)
     if speedup:

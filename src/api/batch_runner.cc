@@ -84,6 +84,7 @@ void BatchRunner::Execute(
         std::vector<double> local_micros;
         std::size_t local_scanned = 0;
         std::size_t local_results = 0;
+        double local_predicted = 0.0;
         ElemList scratch;
         for (;;) {
           const std::size_t i =
@@ -100,12 +101,14 @@ void BatchRunner::Execute(
           local_micros.push_back(qs.wall_micros);
           local_scanned += qs.elements_scanned;
           local_results += qs.result_size;
+          local_predicted += qs.predicted_micros;
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         wall_micros.insert(wall_micros.end(), local_micros.begin(),
                            local_micros.end());
         stats_.elements_scanned += local_scanned;
         stats_.total_results += local_results;
+        stats_.predicted_micros += local_predicted;
       } catch (...) {
         std::lock_guard<std::mutex> lock(merge_mutex);
         if (!first_error) first_error = std::current_exception();

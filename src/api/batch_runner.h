@@ -73,6 +73,11 @@ struct BatchStats {
   std::size_t num_threads = 0;
   /// Sum of QueryStats::elements_scanned over all queries.
   std::size_t elements_scanned = 0;
+  /// Sum of QueryStats::predicted_micros over all queries — the cost
+  /// model's forecast of the batch's total compute.  Compare against the
+  /// summed per-query wall times to judge the planner on a workload
+  /// (0 when the engine's algorithm publishes no cost model).
+  double predicted_micros = 0.0;
   /// Sum of per-query result sizes (after any limit).
   std::size_t total_results = 0;
   /// Wall time of the whole batch, milliseconds.

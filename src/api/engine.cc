@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "api/planner.h"
 #include "api/registry.h"
 #include "util/timer.h"
 
 namespace fsi {
+
+QueryPlan Query::Explain() const {
+  if (plan_ != nullptr) return *plan_;
+  return PlanQuery(*algorithm_, sets_);
+}
 
 ElemList Query::Materialize() {
   ElemList out;
@@ -18,7 +24,9 @@ QueryStats Query::ExecuteInto(ElemList* out) {
   Timer timer;
   out->clear();
   if (!sets_.empty()) {
-    if (ordered_) {
+    if (planner_ != nullptr) {
+      planner_->ExecutePlan(sets_, *plan_, ordered_, out);
+    } else if (ordered_) {
       algorithm_->Intersect(sets_, out);
     } else {
       algorithm_->IntersectUnordered(sets_, out);
@@ -43,7 +51,9 @@ QueryStats Query::Execute() {
 
 Engine::Engine(std::string_view spec, EngineOptions options)
     : algorithm_(AlgorithmRegistry::Global().Create(spec, options.seed)),
-      validate_(ValidationEnabled(options.validation)) {}
+      validate_(ValidationEnabled(options.validation)) {
+  ResolveCostInfo();
+}
 
 Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
                EngineOptions options)
@@ -52,6 +62,14 @@ Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
   if (algorithm_ == nullptr) {
     throw std::invalid_argument("Engine: null algorithm");
   }
+  ResolveCostInfo();
+}
+
+void Engine::ResolveCostInfo() {
+  planner_view_ = dynamic_cast<const PlannerAlgorithm*>(algorithm_.get());
+  const AlgorithmDescriptor* descriptor =
+      AlgorithmRegistry::Global().Find(algorithm_->name());
+  cost_hook_ = descriptor == nullptr ? nullptr : descriptor->cost;
 }
 
 PreparedSet Engine::Prepare(std::span<const Elem> set) const {
@@ -112,7 +130,16 @@ fsi::Query Engine::MakeQuery(std::span<const PreparedSet* const> sets) const {
                                : std::min(base.groups_probed, groups);
     }
   }
-  return fsi::Query(algorithm_, std::move(views), std::move(retained), base);
+  std::shared_ptr<const QueryPlan> plan;
+  if (planner_view_ != nullptr) {
+    plan = std::make_shared<const QueryPlan>(planner_view_->Plan(views));
+    base.predicted_micros = plan->predicted_micros;
+  } else if (cost_hook_ != nullptr) {
+    base.predicted_micros =
+        PlanExplicit(*algorithm_, views, cost_hook_).predicted_micros;
+  }
+  return fsi::Query(algorithm_, std::move(views), std::move(retained), base,
+                    planner_view_, std::move(plan));
 }
 
 ElemList Engine::IntersectLists(std::span<const ElemList> lists) const {

@@ -44,8 +44,11 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 
 namespace fsi {
+
+class PlannerAlgorithm;  // the cost-model planner (api/planner.h)
 
 /// Governs whether Prepare() runs the full O(n) sorted/duplicate-free
 /// input validation.  kDefault resolves per build type: enabled in Debug,
@@ -82,7 +85,16 @@ struct QueryStats {
   std::size_t result_size = 0;
   /// Wall time of the last terminal, in microseconds.
   double wall_micros = 0.0;
+  /// Cost-model prediction for this query, in microseconds (valid
+  /// immediately, like the structural fields).  Filled by the planner's
+  /// calibrated model on planner engines, by the algorithm's own cost hook
+  /// with the built-in constants on explicit-spec engines, and 0 when the
+  /// algorithm publishes no cost model.  Compare against wall_micros to
+  /// judge the model (see Query::Explain and docs/PLANNER.md).
+  double predicted_micros = 0.0;
 };
+
+struct QueryPlan;  // the chosen execution plan (api/planner.h)
 
 /// A value-semantic handle owning one preprocessed set together with a
 /// shared reference to the algorithm that built it.  Copyable (copies
@@ -179,19 +191,30 @@ class Query {
   QueryStats Execute();
 
   /// Stats of the most recent terminal run (structural fields — num_sets,
-  /// elements_scanned, groups_probed — are valid immediately).
+  /// elements_scanned, groups_probed, predicted_micros — are valid
+  /// immediately).
   const QueryStats& stats() const { return stats_; }
+
+  /// The chosen execution plan, without running the query: set order,
+  /// algorithm per step, and the cost model's per-step predictions.  On a
+  /// planner engine (the default) this is the full cost-model plan; on an
+  /// explicit-spec engine it is a single-algorithm pseudo-plan carrying
+  /// the descriptor's cost prediction when one is published.
+  QueryPlan Explain() const;
 
  private:
   friend class Engine;
   Query(std::shared_ptr<const IntersectionAlgorithm> algorithm,
         std::vector<const PreprocessedSet*> sets,
         std::vector<std::shared_ptr<const PreprocessedSet>> retained,
-        QueryStats base)
+        QueryStats base, const PlannerAlgorithm* planner,
+        std::shared_ptr<const QueryPlan> plan)
       : algorithm_(std::move(algorithm)),
         sets_(std::move(sets)),
         retained_(std::move(retained)),
-        stats_(base) {}
+        stats_(base),
+        planner_(planner),
+        plan_(std::move(plan)) {}
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   std::vector<const PreprocessedSet*> sets_;
@@ -201,6 +224,10 @@ class Query {
   bool count_only_ = false;
   ElemList scratch_;  // reused by the Count/Visit/Execute sinks
   QueryStats stats_;
+  /// Set on planner engines: the plan computed once at query build, used
+  /// by the terminals and Explain() so a query is never planned twice.
+  const PlannerAlgorithm* planner_ = nullptr;
+  std::shared_ptr<const QueryPlan> plan_;
 };
 
 /// Construction options for Engine.
@@ -215,6 +242,10 @@ struct EngineOptions {
 /// algorithm instance, so their PreparedSets are interchangeable.
 class Engine {
  public:
+  /// Zero-config: the cost-model planner (api/planner.h) picks the
+  /// algorithm per query.  Equivalent to Engine("Planner").
+  Engine() : Engine("Planner") {}
+
   /// Builds the engine from a registry spec, e.g. "Hybrid" or
   /// "RanGroupScan:m=2,w=4".  Throws std::invalid_argument for unknown
   /// names or malformed options.
@@ -253,9 +284,17 @@ class Engine {
 
  private:
   fsi::Query MakeQuery(std::span<const PreparedSet* const> sets) const;
+  /// Resolves planner_view_ / cost_hook_ once, so building a query never
+  /// takes the registry mutex.
+  void ResolveCostInfo();
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   bool validate_;
+  /// Non-null when algorithm_ is the planner (aliases algorithm_, which
+  /// copies share, so the view stays valid across Engine copies).
+  const PlannerAlgorithm* planner_view_ = nullptr;
+  /// The algorithm's registry cost hook (null when none is published).
+  StepCostFn cost_hook_ = nullptr;
 };
 
 }  // namespace fsi

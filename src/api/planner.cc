@@ -1,0 +1,605 @@
+#include "api/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/hash_bin.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fsi {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Calibration.
+// ---------------------------------------------------------------------------
+
+/// A sorted, duplicate-free set of `n` elements with mean gap ~(max_gap+1)/2.
+ElemList MakeCalibrationSet(std::size_t n, std::uint32_t max_gap,
+                            Xoshiro256& rng) {
+  ElemList set;
+  set.reserve(n);
+  std::uint32_t x = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += 1 + static_cast<std::uint32_t>(rng.Below(max_gap));
+    set.push_back(x);
+  }
+  return set;
+}
+
+/// Best-of-`reps` wall time of `alg` intersecting `a` and `b`, in
+/// nanoseconds, plus the result size (for subtracting the per-result
+/// term).  Short measurements need more reps: the minimum filters out
+/// cold-cache and scheduler noise.
+std::pair<double, std::size_t> TimeIntersect(const IntersectionAlgorithm& alg,
+                                             const ElemList& a,
+                                             const ElemList& b, int reps) {
+  std::unique_ptr<PreprocessedSet> pa = alg.Preprocess(a);
+  std::unique_ptr<PreprocessedSet> pb = alg.Preprocess(b);
+  const PreprocessedSet* views[2] = {pa.get(), pb.get()};
+  std::span<const PreprocessedSet* const> span(views, 2);
+  ElemList out;
+  double best_ns = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    out.clear();
+    Timer timer;
+    alg.Intersect(span, &out);
+    best_ns = std::min(best_ns, timer.ElapsedMillis() * 1e6);
+  }
+  return {best_ns, out.size()};
+}
+
+/// (measured - result_ns * r) / units, clamped to a sane range so a timer
+/// hiccup can never produce a zero or absurd constant.
+double Constant(double measured_ns, std::size_t result, double result_ns,
+                double units) {
+  double net = measured_ns - result_ns * static_cast<double>(result);
+  return std::clamp(net / units, 0.02, 500.0);
+}
+
+void AppendJsonField(std::string* out, const char* key, double value,
+                     const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", key, value, suffix);
+  *out += buf;
+}
+
+double ParseJsonNumber(std::string_view json, std::string_view key) {
+  std::string quoted = "\"" + std::string(key) + "\"";
+  std::string_view::size_type at = json.find(quoted);
+  if (at == std::string_view::npos) {
+    throw std::invalid_argument("PlannerCalibration: missing key " + quoted);
+  }
+  at = json.find(':', at + quoted.size());
+  if (at == std::string_view::npos) {
+    throw std::invalid_argument("PlannerCalibration: no value for " + quoted);
+  }
+  std::string rest(json.substr(at + 1));
+  char* end = nullptr;
+  double value = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str() || !std::isfinite(value) || value <= 0.0) {
+    throw std::invalid_argument(
+        "PlannerCalibration: malformed value for " + quoted +
+        " (expects a positive number)");
+  }
+  return value;
+}
+
+constexpr std::string_view kMergeName = "Merge";
+constexpr std::string_view kSvsName = "SvS";
+constexpr std::string_view kScanName = "RanGroupScan";
+constexpr std::string_view kHashBinName = "HashBin";
+
+bool Chainable(std::string_view algorithm) {
+  // Steps after the first intersect a plain sorted intermediate against the
+  // next PlainSet; only the merge/gallop families run on that shape.
+  return algorithm == kMergeName || algorithm == kSvsName;
+}
+
+}  // namespace
+
+std::string PlannerCalibration::ToJson() const {
+  std::string out = "{";
+  AppendJsonField(&out, "merge_ns", constants.merge_ns, ", ");
+  AppendJsonField(&out, "gallop_ns", constants.gallop_ns, ", ");
+  AppendJsonField(&out, "scan_ns", constants.scan_ns, ", ");
+  AppendJsonField(&out, "hashbin_ns", constants.hashbin_ns, ", ");
+  AppendJsonField(&out, "result_ns", constants.result_ns, ", ");
+  AppendJsonField(&out, "scan_result_ns", constants.scan_result_ns, ", ");
+  out += "\"source\": \"" + source + "\"}";
+  return out;
+}
+
+PlannerCalibration PlannerCalibration::FromJson(std::string_view json) {
+  PlannerCalibration cal;
+  cal.constants.merge_ns = ParseJsonNumber(json, "merge_ns");
+  cal.constants.gallop_ns = ParseJsonNumber(json, "gallop_ns");
+  cal.constants.scan_ns = ParseJsonNumber(json, "scan_ns");
+  cal.constants.hashbin_ns = ParseJsonNumber(json, "hashbin_ns");
+  cal.constants.result_ns = ParseJsonNumber(json, "result_ns");
+  cal.constants.scan_result_ns = ParseJsonNumber(json, "scan_result_ns");
+  cal.source = "json";
+  return cal;
+}
+
+PlannerCalibration PlannerCalibration::Measure(std::uint64_t seed) {
+  PlannerCalibration cal;
+  cal.source = "measured";
+  const double result_ns = cal.constants.result_ns;
+  Xoshiro256 rng(seed);
+  // Set sizes are chosen to bust the L2 cache (the balanced pair totals
+  // ~512 KiB, the skewed pair's large side ~1 MiB): posting lists in the
+  // paper's workloads are memory-resident, not cache-resident, and the
+  // constants differ by 3-4x between those regimes.
+  const std::size_t kBalanced = std::size_t{1} << 16;
+  const double balanced_elems = static_cast<double>(2 * kBalanced);
+
+  // Sparse balanced pair (~0.2% mutual density): the result terms are
+  // negligible, so the per-element scan constants fall out directly.
+  ElemList a = MakeCalibrationSet(kBalanced, 1024, rng);
+  ElemList b = MakeCalibrationSet(kBalanced, 1024, rng);
+
+  auto [merge_t, merge_r] =
+      TimeIntersect(MergeIntersection(), a, b, /*reps=*/3);
+  cal.constants.merge_ns =
+      Constant(merge_t, merge_r, result_ns, balanced_elems);
+
+  auto [scan_t, scan_r] =
+      TimeIntersect(RanGroupScanIntersection(), a, b, /*reps=*/3);
+  cal.constants.scan_ns = Constant(scan_t, scan_r, result_ns, balanced_elems);
+
+  // Dense balanced pair (~12% density): with the element term pinned
+  // above, the remainder isolates the partition family's per-result cost —
+  // g^-1 inversions, the document-order sort, and the surviving-group
+  // merges that image filtering can no longer skip.
+  ElemList ad = MakeCalibrationSet(kBalanced, 16, rng);
+  ElemList bd = MakeCalibrationSet(kBalanced, 16, rng);
+  auto [dense_t, dense_r] =
+      TimeIntersect(RanGroupScanIntersection(), ad, bd, /*reps=*/3);
+  cal.constants.scan_result_ns = std::clamp(
+      (dense_t - cal.constants.scan_ns * balanced_elems) /
+          static_cast<double>(std::max<std::size_t>(dense_r, 1)),
+      1.0, 2000.0);
+
+  // Skewed pair (the galloping / HashBin regime): the small side is a
+  // 1-in-16 *random* sample of the large one, so every probe lands but
+  // the gallop distances are geometric — the branchy, prefetch-hostile
+  // access pattern of a real skewed query (a fixed-stride sample measures
+  // 3-4x too fast: perfectly predicted branches).  Ratio 16 sits in the
+  // merge-vs-gallop crossover regime, which is exactly where the
+  // constant has to be right for the planner to call 2-keyword queries
+  // correctly; at extreme ratios every log-bound algorithm wins by
+  // orders of magnitude and precision stops mattering.
+  const std::size_t kLarge = std::size_t{1} << 18;
+  ElemList large = MakeCalibrationSet(kLarge, 16, rng);
+  ElemList small;
+  for (Elem x : large) {
+    if (rng.Below(16) == 0) small.push_back(x);
+  }
+  const double skew_units =
+      static_cast<double>(small.size()) * std::log2(2.0 + 16.0);
+
+  auto [svs_t, svs_r] =
+      TimeIntersect(SvsIntersection(), small, large, /*reps=*/5);
+  cal.constants.gallop_ns = Constant(svs_t, svs_r, result_ns, skew_units);
+
+  auto [bin_t, bin_r] =
+      TimeIntersect(HashBinIntersection(), small, large, /*reps=*/5);
+  cal.constants.hashbin_ns =
+      Constant(bin_t, bin_r, cal.constants.scan_result_ns, skew_units);
+
+  return cal;
+}
+
+const PlannerCalibration& PlannerCalibration::Process() {
+  static const PlannerCalibration calibration = [] {
+    const char* env = std::getenv("FSI_PLANNER_CALIBRATION");
+    std::string_view value = (env == nullptr) ? std::string_view() : env;
+    if (value == "off") return PlannerCalibration{};
+    if (!value.empty() && value != "on") {
+      std::ifstream in{std::string(value)};
+      if (!in) {
+        throw std::invalid_argument(
+            "FSI_PLANNER_CALIBRATION: cannot open calibration file '" +
+            std::string(value) + "' (expected off, on, or a JSON file path)");
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      return FromJson(contents.str());
+    }
+    return Measure();
+  }();
+  return calibration;
+}
+
+// ---------------------------------------------------------------------------
+// Plans.
+// ---------------------------------------------------------------------------
+
+std::string QueryPlan::ToString() const {
+  char buf[160];
+  std::string out;
+  if (!planned) {
+    out = "plan: explicit algorithm";
+    if (!steps.empty()) out += " '" + steps[0].algorithm + "'";
+    out += "\n";
+  } else {
+    out = "plan:\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  sets: %zu  order: [", order.size());
+  out += buf;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%zu", i == 0 ? "" : " ", order[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "]  predicted: %.1f us  est result: %.0f\n",
+                predicted_micros, est_result);
+  out += buf;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  step %zu: %-12s left %s%zu  right n=%zu  est r=%.0f  "
+                  "predicted %.1f us\n",
+                  i + 1, s.algorithm.c_str(), s.left_estimated ? "~" : "n=",
+                  s.left_size, s.right_size, s.est_result, s.predicted_micros);
+    out += buf;
+  }
+  if (planned && uniform && !steps.empty()) {
+    out += "  executed as one native " + steps[0].algorithm + " call over all " +
+           std::to_string(order.size()) + " sets\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PlannerAlgorithm.
+// ---------------------------------------------------------------------------
+
+PlannerAlgorithm::PlannerAlgorithm(const Options& options)
+    : merge_(options.scan.simd),
+      svs_(options.scan.simd),
+      scan_(options.scan),
+      kernels_(&simd::Select(options.scan.simd)) {
+  if (options.constants.has_value()) {
+    constants_ = *options.constants;
+    calibration_source_ = "explicit";
+  } else if (!options.calibration) {
+    constants_ = CostConstants{};
+    calibration_source_ = "default";
+  } else {
+    const PlannerCalibration& process = PlannerCalibration::Process();
+    constants_ = process.constants;
+    calibration_source_ = process.source;
+  }
+  for (std::string_view name :
+       {kMergeName, kSvsName, kScanName, kHashBinName}) {
+    const AlgorithmDescriptor* d = AlgorithmRegistry::Global().Find(name);
+    if (d != nullptr && d->cost != nullptr) candidates_.push_back(d);
+  }
+}
+
+std::unique_ptr<PreprocessedSet> PlannerAlgorithm::Preprocess(
+    std::span<const Elem> set) const {
+  return std::make_unique<PlannedSet>(merge_.Preprocess(set),
+                                      scan_.Preprocess(set));
+}
+
+QueryPlan PlannerAlgorithm::Plan(
+    std::span<const PreprocessedSet* const> sets) const {
+  QueryPlan plan;
+  plan.planned = true;
+  const std::size_t k = sets.size();
+  plan.order.resize(k);
+  std::iota(plan.order.begin(), plan.order.end(), std::size_t{0});
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](std::size_t i, std::size_t j) {
+                     return sets[i]->size() < sets[j]->size();
+                   });
+  if (k == 0) return plan;
+
+  const std::size_t n1 = sets[plan.order[0]]->size();
+  if (n1 == 0) return plan;  // an empty input: trivially empty, no steps
+  if (k == 1) {
+    plan.est_result = static_cast<double>(n1);
+    plan.predicted_micros =
+        constants_.merge_ns * static_cast<double>(n1) * 1e-3;
+    return plan;
+  }
+
+  // Universe estimate for the density correction: the intersection of two
+  // uniform sets over [0, U) has expected size n_a * n_b / U.
+  double universe = 1.0;
+  for (const PreprocessedSet* s : sets) {
+    std::span<const Elem> elems = As<PlannedSet>(*s).elems();
+    if (!elems.empty()) {
+      universe = std::max(universe, static_cast<double>(elems.back()) + 1.0);
+    }
+  }
+
+  // Per-step cost of every candidate; the intermediate-size estimates are
+  // algorithm-independent (every algorithm computes the same set).
+  const std::size_t steps = k - 1;
+  std::vector<std::vector<double>> cost(steps,
+                                        std::vector<double>(candidates_.size()));
+  std::vector<StepCostQuery> features(steps);
+  std::vector<bool> left_estimated(steps);
+  double est_left = static_cast<double>(n1);
+  for (std::size_t j = 0; j < steps; ++j) {
+    const std::size_t right = sets[plan.order[j + 1]]->size();
+    StepCostQuery& q = features[j];
+    q.small_size = static_cast<std::size_t>(std::llround(est_left));
+    q.large_size = right;
+    q.est_result = std::min(est_left * static_cast<double>(right) / universe,
+                            std::min(est_left, static_cast<double>(right)));
+    left_estimated[j] = j > 0;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      cost[j][c] = candidates_[c]->cost(q, constants_);
+    }
+    est_left = q.est_result;
+  }
+  plan.est_result = est_left;
+
+  // Best uniform plan: one candidate for every step, executed as a single
+  // native k-way call.
+  std::size_t best_uniform = 0;
+  double best_uniform_total = 1e300;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < steps; ++j) total += cost[j][c];
+    if (total < best_uniform_total) {
+      best_uniform_total = total;
+      best_uniform = c;
+    }
+  }
+
+  // Best chain plan: per-step argmin — any candidate for the first step
+  // (both inputs have prepared structures), merge/gallop for the rest.
+  std::vector<std::size_t> chain(steps);
+  double chain_total = 0.0;
+  for (std::size_t j = 0; j < steps; ++j) {
+    std::size_t best = SIZE_MAX;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      if (j > 0 && !Chainable(candidates_[c]->name)) continue;
+      if (best == SIZE_MAX || cost[j][c] < cost[j][best]) best = c;
+    }
+    chain[j] = best;
+    chain_total += cost[j][best];
+  }
+
+  const bool use_chain = chain_total < best_uniform_total;
+  plan.uniform = true;
+  plan.steps.reserve(steps);
+  for (std::size_t j = 0; j < steps; ++j) {
+    const std::size_t c = use_chain ? chain[j] : best_uniform;
+    if (use_chain && chain[j] != chain[0]) plan.uniform = false;
+    PlanStep step;
+    step.algorithm = candidates_[c]->name;
+    step.left_size = features[j].small_size;
+    step.right_size = features[j].large_size;
+    step.left_estimated = left_estimated[j];
+    step.est_result = features[j].est_result;
+    step.predicted_micros = cost[j][c] * 1e-3;
+    plan.predicted_micros += step.predicted_micros;
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+void PlannerAlgorithm::Intersect(std::span<const PreprocessedSet* const> sets,
+                                 ElemList* out) const {
+  ExecutePlan(sets, Plan(sets), /*ordered=*/true, out);
+}
+
+void PlannerAlgorithm::IntersectUnordered(
+    std::span<const PreprocessedSet* const> sets, ElemList* out) const {
+  ExecutePlan(sets, Plan(sets), /*ordered=*/false, out);
+}
+
+void PlannerAlgorithm::ExecutePlan(
+    std::span<const PreprocessedSet* const> sets, const QueryPlan& plan,
+    bool ordered, ElemList* out) const {
+  const std::size_t k = sets.size();
+  if (k == 0) return;
+  const PlannedSet& smallest = As<PlannedSet>(*sets[plan.order[0]]);
+  if (smallest.size() == 0) return;
+  if (k == 1) {
+    out->assign(smallest.elems().begin(), smallest.elems().end());
+    return;
+  }
+
+  // The HashBin path mirrors HybridIntersection: the ScanSet g-value
+  // arrays are globally ascending, which is all HashBinIntersectGvals
+  // needs; results come back as g-values and invert through g^-1.  The
+  // document-order sort is skipped when the caller asked for an unordered
+  // result — it dominates in the large-r regime (see IntersectUnordered
+  // in core/algorithm.h) — but chain intermediates must always sort: the
+  // following merge/gallop step requires ascending input.
+  auto hash_bin = [&](std::span<const PreprocessedSet* const> members,
+                      bool sort_result, ElemList* result) {
+    std::vector<std::span<const std::uint32_t>> gval_lists;
+    gval_lists.reserve(members.size());
+    for (const PreprocessedSet* s : members) {
+      gval_lists.push_back(
+          As<ScanSet>(*As<PlannedSet>(*s).scan()).gvals());
+    }
+    std::vector<std::uint32_t> result_gvals;
+    HashBinIntersectGvals(gval_lists, scan_.permutation().domain_bits(),
+                          &result_gvals);
+    result->reserve(result_gvals.size());
+    for (std::uint32_t gv : result_gvals) {
+      result->push_back(static_cast<Elem>(scan_.permutation().Invert(gv)));
+    }
+    if (sort_result) std::sort(result->begin(), result->end());
+  };
+
+  if (plan.uniform && !plan.steps.empty()) {
+    const std::string& algorithm = plan.steps[0].algorithm;
+    std::vector<const PreprocessedSet*> views;
+    views.reserve(k);
+    if (algorithm == kScanName) {
+      for (const PreprocessedSet* s : sets) {
+        views.push_back(As<PlannedSet>(*s).scan());
+      }
+      if (ordered) {
+        scan_.Intersect(views, out);
+      } else {
+        scan_.IntersectUnordered(views, out);
+      }
+      return;
+    }
+    if (algorithm == kHashBinName) {
+      // Order is irrelevant to correctness; HashBinIntersectGvals expects
+      // smallest-first, which plan.order provides.
+      std::vector<const PreprocessedSet*> by_order;
+      by_order.reserve(k);
+      for (std::size_t i : plan.order) by_order.push_back(sets[i]);
+      hash_bin(by_order, /*sort_result=*/ordered, out);
+      return;
+    }
+    for (const PreprocessedSet* s : sets) {
+      views.push_back(As<PlannedSet>(*s).plain());
+    }
+    if (algorithm == kSvsName) {
+      svs_.Intersect(views, out);
+    } else {
+      merge_.Intersect(views, out);
+    }
+    return;
+  }
+
+  // Mixed chain: the first step runs on the two smallest prepared
+  // structures; every later step intersects the sorted intermediate
+  // against the next PlainSet with the step's merge or gallop kernel.
+  ElemList current;
+  {
+    const PlanStep& first = plan.steps[0];
+    const PreprocessedSet* a = sets[plan.order[0]];
+    const PreprocessedSet* b = sets[plan.order[1]];
+    if (first.algorithm == kScanName) {
+      const PreprocessedSet* views[2] = {As<PlannedSet>(*a).scan(),
+                                         As<PlannedSet>(*b).scan()};
+      scan_.Intersect(std::span<const PreprocessedSet* const>(views, 2),
+                      &current);
+    } else if (first.algorithm == kHashBinName) {
+      const PreprocessedSet* views[2] = {a, b};
+      hash_bin(std::span<const PreprocessedSet* const>(views, 2),
+               /*sort_result=*/true, &current);
+    } else {
+      const PreprocessedSet* views[2] = {As<PlannedSet>(*a).plain(),
+                                         As<PlannedSet>(*b).plain()};
+      std::span<const PreprocessedSet* const> span(views, 2);
+      if (first.algorithm == kSvsName) {
+        svs_.Intersect(span, &current);
+      } else {
+        merge_.Intersect(span, &current);
+      }
+    }
+  }
+  ElemList next;
+  for (std::size_t j = 1; j < plan.steps.size() && !current.empty(); ++j) {
+    std::span<const Elem> right = As<PlannedSet>(*sets[plan.order[j + 1]]).elems();
+    next.clear();
+    if (plan.steps[j].algorithm == kSvsName) {
+      GallopEliminate(*kernels_, current, right, &next);
+    } else {
+      kernels_->intersect_pair(current.data(), current.size(), right.data(),
+                               right.size(), &next);
+    }
+    current.swap(next);
+  }
+  out->swap(current);
+}
+
+QueryPlan PlanQuery(const IntersectionAlgorithm& algorithm,
+                    std::span<const PreprocessedSet* const> sets) {
+  if (const auto* planner =
+          dynamic_cast<const PlannerAlgorithm*>(&algorithm)) {
+    return planner->Plan(sets);
+  }
+  const AlgorithmDescriptor* descriptor =
+      AlgorithmRegistry::Global().Find(algorithm.name());
+  return PlanExplicit(algorithm, sets,
+                      descriptor == nullptr ? nullptr : descriptor->cost);
+}
+
+QueryPlan PlanExplicit(const IntersectionAlgorithm& algorithm,
+                       std::span<const PreprocessedSet* const> sets,
+                       StepCostFn cost) {
+  QueryPlan plan;
+  plan.planned = false;
+  const std::size_t k = sets.size();
+  plan.order.resize(k);
+  std::iota(plan.order.begin(), plan.order.end(), std::size_t{0});
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](std::size_t i, std::size_t j) {
+                     return sets[i]->size() < sets[j]->size();
+                   });
+  if (k == 0) return plan;
+  const std::size_t n1 = sets[plan.order[0]]->size();
+  if (n1 == 0) return plan;
+  if (k == 1) {
+    plan.est_result = static_cast<double>(n1);
+    return plan;
+  }
+
+  // Built-in constants, deliberately not the calibrated ones: an
+  // explicit-spec engine must never trigger the calibration sweep just to
+  // annotate its stats.
+  const CostConstants constants;
+
+  // Universe estimate: exact for plain/planned structures, else the full
+  // element domain (the partition structures store permuted values, whose
+  // maximum says nothing about the raw density).
+  double universe = 0.0;
+  for (const PreprocessedSet* s : sets) {
+    std::span<const Elem> elems;
+    if (const auto* plain = dynamic_cast<const PlainSet*>(s)) {
+      elems = plain->elems();
+    } else if (const auto* planned = dynamic_cast<const PlannedSet*>(s)) {
+      elems = planned->elems();
+    } else {
+      universe = 0.0;
+      break;
+    }
+    if (!elems.empty()) {
+      universe = std::max(universe, static_cast<double>(elems.back()) + 1.0);
+    }
+  }
+  if (universe <= 0.0) universe = std::pow(2.0, 32);
+
+  double est_left = static_cast<double>(n1);
+  for (std::size_t j = 1; j < k; ++j) {
+    const std::size_t right = sets[plan.order[j]]->size();
+    StepCostQuery q;
+    q.small_size = static_cast<std::size_t>(std::llround(est_left));
+    q.large_size = right;
+    q.est_result = std::min(est_left * static_cast<double>(right) / universe,
+                            std::min(est_left, static_cast<double>(right)));
+    PlanStep step;
+    step.algorithm = std::string(algorithm.name());
+    step.left_size = q.small_size;
+    step.right_size = right;
+    step.left_estimated = j > 1;
+    step.est_result = q.est_result;
+    if (cost != nullptr) {
+      step.predicted_micros = cost(q, constants) * 1e-3;
+      plan.predicted_micros += step.predicted_micros;
+    }
+    plan.steps.push_back(std::move(step));
+    est_left = q.est_result;
+  }
+  plan.est_result = est_left;
+  return plan;
+}
+
+}  // namespace fsi

@@ -1,0 +1,241 @@
+// The cost-model query planner: fsi::PlannerAlgorithm.
+//
+// The paper's Figure 7 shows that no single intersection algorithm wins
+// everywhere — RanGroupScan took 61.6% of the real-workload queries,
+// RanGroup 16%, HashBin 7.7%, and the competitors the rest.  The Hybrid
+// facade (core/intersector.h) already chooses between two of them online;
+// the planner generalizes that choice to the whole portfolio, the way
+// database systems pick operators from a cost model:
+//
+//   fsi::Engine engine;                       // zero-config: the planner
+//   fsi::PreparedSet a = engine.Prepare(...); // builds plain + scan forms
+//   fsi::PreparedSet b = engine.Prepare(...);
+//   fsi::ElemList r = engine.Query({&a, &b}).Materialize();
+//   fsi::QueryPlan plan = engine.Query({&a, &b}).Explain();
+//
+// What the planner does, per query:
+//  (a) orders the k sets smallest-first (optimal under the uniform-density
+//      model: the candidate set shrinks by the same expected factor
+//      n_j / U at every later step regardless of order, so starting from
+//      the smallest candidate minimizes every step's work) and estimates
+//      each intermediate result size from the universe density
+//      (est *= n_j / U — the "density correction" applied to every
+//      cost formula after the first step);
+//  (b) selects the algorithm per intersection step from the registry
+//      descriptors that publish a cost hook (core/cost.h), comparing the
+//      paper's bounds — O(n1+n2) merge, O(n1 log(n2/n1)) galloping/HashBin
+//      (Theorem 3.11), O(mn/sqrt(w) + r) RanGroupScan (Theorem 3.9) —
+//      evaluated with per-machine constants;
+//  (c) calibrates those constants at startup with a microbenchmark sweep
+//      (PlannerCalibration::Measure), overridable with
+//      FSI_PLANNER_CALIBRATION=off (pins the built-in defaults, so CI is
+//      deterministic) or FSI_PLANNER_CALIBRATION=<file.json> (loads a
+//      serialized calibration; see ToJson/FromJson).
+//
+// Execution: a PreparedSet of a planner engine holds *two* structures —
+// the PlainSet sorted array (serves Merge and SvS) and the RanGroupScan
+// block layout (serves RanGroupScan, and HashBin via its globally-sorted
+// g-value array, exactly as Hybrid does).  When every step picks the same
+// algorithm the query runs as one native k-way call; mixed plans run
+// step-by-step, later steps intersecting the sorted intermediate result
+// against the next PlainSet by merge or galloping.
+//
+// The registry spec is "Planner" (alias "auto"); fsi::Engine's default
+// constructor uses it, making the planner the zero-config path.
+
+#ifndef FSI_API_PLANNER_H_
+#define FSI_API_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/registry.h"
+#include "baseline/merge.h"
+#include "baseline/plain_set.h"
+#include "baseline/svs.h"
+#include "core/algorithm.h"
+#include "core/cost.h"
+#include "core/ran_group_scan.h"
+
+namespace fsi {
+
+/// The calibrated machine constants plus where they came from.
+struct PlannerCalibration {
+  CostConstants constants;
+  /// "default" (FSI_PLANNER_CALIBRATION=off or calibration=off),
+  /// "measured" (the startup microbenchmark sweep) or "json" (loaded).
+  std::string source = "default";
+
+  /// Serializes the constants to a single-object JSON document.
+  std::string ToJson() const;
+
+  /// Parses a document produced by ToJson (unknown keys are ignored;
+  /// missing or malformed constants throw std::invalid_argument).
+  static PlannerCalibration FromJson(std::string_view json);
+
+  /// The microbenchmark sweep: times each portfolio algorithm on
+  /// synthetic workloads shaped to isolate its constant (sparse and
+  /// dense balanced pairs for merge_ns / scan_ns / scan_result_ns, a
+  /// 16x-skewed pair for gallop_ns / hashbin_ns), all sized past the L2
+  /// cache to match the memory-resident posting-list regime.
+  /// Deterministic inputs; ~100 ms, run once per process (Process()).
+  static PlannerCalibration Measure(std::uint64_t seed = 0x5ca1ab1eULL);
+
+  /// The process-wide calibration, resolved once from the environment:
+  /// FSI_PLANNER_CALIBRATION=off -> built-in defaults, =<path> -> FromJson
+  /// of that file's contents, unset/on -> Measure().  Cached after the
+  /// first call; throws std::invalid_argument if a file fails to load.
+  static const PlannerCalibration& Process();
+};
+
+/// One step of a query plan.  For the first step both sizes are exact; for
+/// later steps `left_size` is the density-corrected estimate of the
+/// intermediate result (`left_estimated` is then true).
+struct PlanStep {
+  /// Registry name of the chosen algorithm for this step.
+  std::string algorithm;
+  std::size_t left_size = 0;
+  std::size_t right_size = 0;
+  bool left_estimated = false;
+  /// Estimated result size of this step.
+  double est_result = 0.0;
+  /// Predicted cost of this step, microseconds.
+  double predicted_micros = 0.0;
+};
+
+/// The chosen plan for one multi-set query, returned by Query::Explain().
+struct QueryPlan {
+  /// Input positions in execution order (sorted by set size ascending).
+  std::vector<std::size_t> order;
+  /// One entry per pairwise step (k-1 entries for a k-set query; empty for
+  /// k <= 1 or when an input set is empty).
+  std::vector<PlanStep> steps;
+  /// True when every step chose the same algorithm and the query executes
+  /// as one native k-way call on the prepared structures.
+  bool uniform = true;
+  /// Sum of the step predictions, microseconds (the value mirrored into
+  /// QueryStats::predicted_micros).
+  double predicted_micros = 0.0;
+  /// Estimated final result size.
+  double est_result = 0.0;
+  /// True when the plan came from the planner; false for the single-step
+  /// pseudo-plan synthesized for an explicit-spec engine.
+  bool planned = false;
+
+  /// Human-readable rendering (the intersect_cli --explain output).
+  std::string ToString() const;
+};
+
+/// The composite preprocessed form of one set under the planner: the
+/// PlainSet sorted array plus the RanGroupScan block structure.
+class PlannedSet : public PreprocessedSet {
+ public:
+  PlannedSet(std::unique_ptr<PreprocessedSet> plain,
+             std::unique_ptr<PreprocessedSet> scan)
+      : plain_(std::move(plain)), scan_(std::move(scan)) {}
+
+  std::size_t size() const override { return plain_->size(); }
+  std::size_t SizeInWords() const override {
+    return plain_->SizeInWords() + scan_->SizeInWords();
+  }
+  std::uint64_t NumGroups() const override { return scan_->NumGroups(); }
+
+  const PreprocessedSet* plain() const { return plain_.get(); }
+  const PreprocessedSet* scan() const { return scan_.get(); }
+  /// The sorted raw elements (the PlainSet view).
+  std::span<const Elem> elems() const {
+    return static_cast<const PlainSet*>(plain_.get())->elems();
+  }
+
+ private:
+  std::unique_ptr<PreprocessedSet> plain_;
+  std::unique_ptr<PreprocessedSet> scan_;
+};
+
+/// The planner, packaged as a registry algorithm ("Planner", alias
+/// "auto") so every Engine/BatchRunner/InvertedIndex feature works
+/// unchanged on top of it.  Thread-compatible like every algorithm: a
+/// const instance may be shared across threads.
+class PlannerAlgorithm : public IntersectionAlgorithm {
+ public:
+  struct Options {
+    /// Options of the internal RanGroupScan instance (seed, m, group
+    /// width, simd mode); the seed also feeds the HashBin g-value path,
+    /// which shares the scan structure's permutation.
+    RanGroupScanIntersection::Options scan;
+    /// Machine constants; when unset, PlannerCalibration::Process() (the
+    /// env-governed startup calibration) decides.
+    std::optional<CostConstants> constants;
+    /// false pins the built-in CostConstants defaults regardless of the
+    /// environment (registry option "calibration=off").
+    bool calibration = true;
+  };
+
+  PlannerAlgorithm() : PlannerAlgorithm(Options()) {}
+  explicit PlannerAlgorithm(const Options& options);
+
+  std::string_view name() const override { return "Planner"; }
+
+  std::unique_ptr<PreprocessedSet> Preprocess(
+      std::span<const Elem> set) const override;
+
+  void Intersect(std::span<const PreprocessedSet* const> sets,
+                 ElemList* out) const override;
+
+  void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
+                          ElemList* out) const override;
+
+  /// Plans a query without executing it (every pointer must come from this
+  /// instance's Preprocess).  Pure and cheap — a few float operations per
+  /// candidate per step.
+  QueryPlan Plan(std::span<const PreprocessedSet* const> sets) const;
+
+  /// Executes a plan previously produced by Plan() over the *same* sets —
+  /// what fsi::Query uses so each query is planned exactly once (the raw
+  /// Intersect entry points plan internally).
+  void ExecutePlan(std::span<const PreprocessedSet* const> sets,
+                   const QueryPlan& plan, bool ordered, ElemList* out) const;
+
+  /// The machine constants this instance plans with.
+  const CostConstants& constants() const { return constants_; }
+  /// Where the constants came from ("default", "measured" or "json").
+  std::string_view calibration_source() const { return calibration_source_; }
+
+ private:
+  CostConstants constants_;
+  std::string calibration_source_;
+  MergeIntersection merge_;
+  SvsIntersection svs_;
+  RanGroupScanIntersection scan_;
+  /// Kernel table for the mixed-chain merge/gallop steps.
+  const simd::Kernels* kernels_;
+  /// Registry descriptors of the executable portfolio (cost hook present),
+  /// resolved once at construction: Merge, SvS, RanGroupScan, HashBin.
+  std::vector<const AlgorithmDescriptor*> candidates_;
+};
+
+/// Plans `sets` under `algorithm`: the full cost-model plan when the
+/// algorithm is a PlannerAlgorithm, otherwise a single-entry pseudo-plan
+/// carrying the algorithm's own cost prediction when its registry
+/// descriptor publishes a hook (predicted_micros == 0 when it does not).
+/// This is what Query::Explain() and QueryStats::predicted_micros use.
+QueryPlan PlanQuery(const IntersectionAlgorithm& algorithm,
+                    std::span<const PreprocessedSet* const> sets);
+
+/// The explicit-spec pseudo-plan with the registry lookup pre-resolved:
+/// `hook` is the descriptor's cost hook (may be null).  The Engine caches
+/// the hook at construction and calls this per query, so query building
+/// never takes the registry mutex.
+QueryPlan PlanExplicit(const IntersectionAlgorithm& algorithm,
+                       std::span<const PreprocessedSet* const> sets,
+                       StepCostFn hook);
+
+}  // namespace fsi
+
+#endif  // FSI_API_PLANNER_H_

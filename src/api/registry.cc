@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "api/planner.h"
 #include "baseline/adaptive.h"
 #include "baseline/baeza_yates.h"
 #include "baseline/bpp.h"
@@ -165,6 +166,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     // order of UncompressedAlgorithmNames(). -------------------------------
     r->Register({.name = "Merge",
                  .options_help = "simd=auto|off",
+                 .cost = &MergeIntersection::StepCost,
                  .make = [](AlgorithmOptions& o) {
                    return std::make_unique<MergeIntersection>(TakeSimd(o));
                  }});
@@ -189,6 +191,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                  }});
     r->Register({.name = "SvS",
                  .options_help = "simd=auto|off",
+                 .cost = &SvsIntersection::StepCost,
                  .make = [](AlgorithmOptions& o) {
                    return std::make_unique<SvsIntersection>(TakeSimd(o));
                  }});
@@ -238,6 +241,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     r->Register({.name = "RanGroupScan",
                  .options_help =
                      "m=<images>,w=<group width>,memoize=<bool>,simd=auto|off",
+                 .cost = &RanGroupScanIntersection::StepCost,
                  .make = [make_scan](AlgorithmOptions& o) {
                    return make_scan(o, 4);
                  }});
@@ -245,10 +249,12 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                  .options_help =
                      "m=<images>,w=<group width>,memoize=<bool>,simd=auto|off",
                  .hidden = true,  // alias: RanGroupScan with m = 2
+                 .cost = &RanGroupScanIntersection::StepCost,
                  .make = [make_scan](AlgorithmOptions& o) {
                    return make_scan(o, 2);
                  }});
     r->Register({.name = "HashBin",
+                 .cost = &HashBinIntersection::StepCost,
                  .make = [](AlgorithmOptions& o) {
                    HashBinIntersection::Options opts;
                    opts.seed = o.seed();
@@ -258,6 +264,7 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                  .options_help =
                      "skew_threshold=<ratio>,m=<images>,w=<group width>,"
                      "memoize=<bool>,simd=auto|off",
+                 .cost = &HybridIntersection::StepCost,
                  .make = [](AlgorithmOptions& o) {
                    HybridIntersection::Options opts;
                    opts.scan.seed = o.seed();
@@ -270,6 +277,30 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
                        o.TakeDouble("skew_threshold", opts.skew_threshold);
                    return std::make_unique<HybridIntersection>(opts);
                  }});
+
+    // --- The cost-model planner (api/planner.h): the zero-config default
+    // path of fsi::Engine, also reachable as the spec "Planner" or the
+    // hidden alias "auto". ------------------------------------------------
+    auto make_planner = [](AlgorithmOptions& o) {
+      PlannerAlgorithm::Options opts;
+      opts.scan.seed = o.seed();
+      opts.scan.m = o.TakeInt("m", opts.scan.m);
+      opts.scan.group_width = o.TakeSize("w", opts.scan.group_width);
+      opts.scan.simd = TakeSimd(o);
+      opts.calibration = o.TakeBool("calibration", opts.calibration);
+      return std::make_unique<PlannerAlgorithm>(opts);
+    };
+    r->Register({.name = "Planner",
+                 .options_help =
+                     "calibration=on|off,m=<images>,w=<group width>,"
+                     "simd=auto|off",
+                 .make = make_planner});
+    r->Register({.name = "auto",
+                 .options_help =
+                     "calibration=on|off,m=<images>,w=<group width>,"
+                     "simd=auto|off",
+                 .hidden = true,  // alias for "Planner"
+                 .make = make_planner});
 
     // --- The Section 4.1 cast (compressed structures). --------------------
     r->Register({.name = "Merge_Gamma",

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 
 namespace fsi {
 
@@ -96,6 +97,11 @@ struct AlgorithmDescriptor {
   /// Aliases (e.g. "RanGroupScan2") are registered hidden: creatable by
   /// name but excluded from the default Names() listing.
   bool hidden = false;
+  /// Cost hook for the planner (core/cost.h): predicted nanoseconds for one
+  /// pairwise intersection step.  nullptr when the algorithm publishes no
+  /// cost model — the planner then never selects it, and intersect_cli
+  /// --list shows it without a cost column entry.
+  StepCostFn cost = nullptr;
   /// Builds an instance; must consume every option key it supports.
   std::function<std::unique_ptr<IntersectionAlgorithm>(AlgorithmOptions&)>
       make;

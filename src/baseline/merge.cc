@@ -6,6 +6,12 @@
 
 namespace fsi {
 
+double MergeIntersection::StepCost(const StepCostQuery& q,
+                                   const CostConstants& c) {
+  return c.merge_ns * static_cast<double>(q.small_size + q.large_size) +
+         c.result_ns * q.est_result;
+}
+
 std::unique_ptr<PreprocessedSet> MergeIntersection::Preprocess(
     std::span<const Elem> set) const {
   DebugCheckSortedUnique(set, name());

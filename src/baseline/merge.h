@@ -17,12 +17,18 @@
 #include <string_view>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "simd/intersect_kernels.h"
 
 namespace fsi {
 
 class MergeIntersection : public IntersectionAlgorithm {
  public:
+  /// Planner cost hook (core/cost.h): the parallel scan touches every
+  /// element once — cost = merge_ns * (n1 + n2), plus the shared
+  /// per-result term.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
+
   /// `simd` selects the two-set inner-loop kernel tier: kAuto runs the
   /// CPU-dispatched block merge (registry spec "Merge" or "Merge:simd=auto"),
   /// kOff the scalar two-pointer loop ("Merge:simd=off").  Results are

@@ -1,15 +1,35 @@
 #include "baseline/svs.h"
 
+#include <cmath>
 #include <vector>
 
 #include "baseline/plain_set.h"
 
 namespace fsi {
 
+double SvsIntersection::StepCost(const StepCostQuery& q,
+                                 const CostConstants& c) {
+  double n1 = static_cast<double>(q.small_size);
+  double n2 = static_cast<double>(q.large_size);
+  double log_ratio = std::log2(2.0 + (n1 > 0 ? n2 / n1 : n2));
+  return c.gallop_ns * n1 * log_ratio + c.result_ns * q.est_result;
+}
+
 std::unique_ptr<PreprocessedSet> SvsIntersection::Preprocess(
     std::span<const Elem> set) const {
   DebugCheckSortedUnique(set, name());
   return std::make_unique<PlainSet>(set);
+}
+
+void GallopEliminate(const simd::Kernels& kernels,
+                     std::span<const Elem> candidates,
+                     std::span<const Elem> big, ElemList* out) {
+  std::size_t cursor = 0;
+  for (Elem x : candidates) {
+    cursor = kernels.gallop_ge(big.data(), big.size(), cursor, x);
+    if (cursor == big.size()) break;
+    if (big[cursor] == x) out->push_back(x);
+  }
 }
 
 void SvsIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
@@ -19,15 +39,9 @@ void SvsIntersection::Intersect(std::span<const PreprocessedSet* const> sets,
   out->assign(sorted[0]->elems().begin(), sorted[0]->elems().end());
   ElemList next;
   for (std::size_t s = 1; s < sorted.size() && !out->empty(); ++s) {
-    std::span<const Elem> big = sorted[s]->elems();
     next.clear();
     next.reserve(out->size());
-    std::size_t cursor = 0;
-    for (Elem x : *out) {
-      cursor = kernels_->gallop_ge(big.data(), big.size(), cursor, x);
-      if (cursor == big.size()) break;
-      if (big[cursor] == x) next.push_back(x);
-    }
+    GallopEliminate(*kernels_, *out, sorted[s]->elems(), &next);
     out->swap(next);
   }
 }

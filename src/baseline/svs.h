@@ -14,12 +14,18 @@
 #include <string_view>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "simd/intersect_kernels.h"
 
 namespace fsi {
 
 class SvsIntersection : public IntersectionAlgorithm {
  public:
+  /// Planner cost hook (core/cost.h): each candidate gallops into the
+  /// larger set — cost = gallop_ns * n1 * log2(2 + n2/n1), plus the shared
+  /// per-result term.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
+
   /// `simd` selects the gallop-probe kernel tier (registry option
   /// "SvS:simd=auto|off"): the exponential probe is identical, but the
   /// bracketed window resolves via broadcast-compare on the vector tiers.
@@ -37,6 +43,14 @@ class SvsIntersection : public IntersectionAlgorithm {
  private:
   const simd::Kernels* kernels_;
 };
+
+/// One SvS elimination round: appends every element of `candidates` found
+/// in `big` (both sorted, duplicate-free) to `out`, galloping a monotone
+/// cursor through `big`.  Shared by SvsIntersection's per-set loop and the
+/// planner's chained gallop steps (api/planner.cc).
+void GallopEliminate(const simd::Kernels& kernels,
+                     std::span<const Elem> candidates,
+                     std::span<const Elem> big, ElemList* out);
 
 }  // namespace fsi
 

@@ -1,0 +1,74 @@
+// The cost-model vocabulary shared by the planner and the algorithms.
+//
+// The paper's central empirical result (Figure 7) is that no single
+// intersection algorithm wins everywhere: the best choice depends on the
+// set-size ratio, the intersection density and machine constants.  The
+// planner (api/planner.h) chooses online from the asymptotic bounds the
+// paper proves — O(n1 + n2) for a merge scan, O(n1 log(n2/n1)) for the
+// galloping and HashBin families (Theorem 3.11), O(mn/sqrt(w) + r) for
+// RanGroupScan (Theorem 3.9) — turned into wall-clock predictions by a
+// handful of calibrated per-machine constants.
+//
+// Algorithms advertise their formula through a cost hook on their registry
+// descriptor (AlgorithmDescriptor::cost): a pure function from the features
+// of one pairwise intersection step to predicted nanoseconds.  Algorithms
+// without a hook are invisible to the planner (intersect_cli --list shows
+// which is which).
+
+#ifndef FSI_CORE_COST_H_
+#define FSI_CORE_COST_H_
+
+#include <cstddef>
+
+namespace fsi {
+
+/// Features of one pairwise intersection step, as known at planning time.
+/// For steps after the first, `small_size` is the *estimated* size of the
+/// running intermediate result (density-corrected, see api/planner.h).
+struct StepCostQuery {
+  /// Size of the smaller input (n1 in the paper's bounds).
+  std::size_t small_size = 0;
+  /// Size of the larger input (n2).
+  std::size_t large_size = 0;
+  /// Estimated intersection size r of this step (clamped to small_size).
+  double est_result = 0.0;
+};
+
+/// Per-machine unit costs, in nanoseconds per element-operation.  The
+/// defaults below are conservative figures for a current x86-64 core with
+/// the dispatched SIMD kernels; PlannerCalibration (api/planner.h) replaces
+/// them with values measured on the running machine unless
+/// FSI_PLANNER_CALIBRATION=off pins these exact numbers (deterministic CI).
+struct CostConstants {
+  /// Merge scan: ns per element touched (cost = merge_ns * (n1 + n2)).
+  double merge_ns = 0.45;
+  /// Galloping search (SvS): ns per small-set element per log2 of the size
+  /// ratio (cost = gallop_ns * n1 * log2(2 + n2/n1)).
+  double gallop_ns = 3.0;
+  /// RanGroupScan: ns per element through the group filter + merge, with
+  /// the paper's m/sqrt(w) factors folded in for the instance's fixed m and
+  /// group width (cost = scan_ns * (n1 + n2) + result term).
+  double scan_ns = 0.7;
+  /// HashBin: ns per small-set element per log2 of the size ratio — the
+  /// Theorem 3.11 bound O(n1 log(n2/n1)) with its own constant
+  /// (cost = hashbin_ns * n1 * log2(2 + n2/n1)).
+  double hashbin_ns = 4.0;
+  /// Per result element for the comparison-based algorithms: append and
+  /// final handling (cost += result_ns * est_result).
+  double result_ns = 6.0;
+  /// Per result element for the randomized-partition algorithms
+  /// (RanGroupScan, HashBin): the g^-1 inversion, the document-order sort,
+  /// and the surviving-group verification work that scales with the
+  /// intersection density (cost += scan_result_ns * est_result).  This is
+  /// why Merge overtakes the partition algorithms in the dense regime the
+  /// paper's Figure 5 studies.
+  double scan_result_ns = 60.0;
+};
+
+/// A registry cost hook: predicted nanoseconds for one pairwise step.
+/// Must be pure (planning happens concurrently from many threads).
+using StepCostFn = double (*)(const StepCostQuery&, const CostConstants&);
+
+}  // namespace fsi
+
+#endif  // FSI_CORE_COST_H_

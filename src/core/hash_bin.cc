@@ -1,12 +1,22 @@
 #include "core/hash_bin.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/bits.h"
 #include "util/rng.h"
 
 namespace fsi {
+
+double HashBinIntersection::StepCost(const StepCostQuery& q,
+                                     const CostConstants& c) {
+  double n1 = static_cast<double>(q.small_size);
+  double n2 = static_cast<double>(q.large_size);
+  double log_ratio = std::log2(2.0 + (n1 > 0 ? n2 / n1 : n2));
+  return c.hashbin_ns * n1 * log_ratio + c.scan_result_ns * q.est_result;
+}
+
 namespace {
 
 /// First index in `gv[lo, n)` with value >= x: exponential probe + binary

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "hash/feistel.h"
 
 namespace fsi {
@@ -60,6 +61,12 @@ class HashBinIntersection : public IntersectionAlgorithm {
 
   HashBinIntersection() : HashBinIntersection(Options()) {}
   explicit HashBinIntersection(const Options& options);
+
+  /// Planner cost hook (core/cost.h): the Theorem 3.11 bound
+  /// O(n1 log(n2/n1)) — cost = hashbin_ns * n1 * log2(2 + n2/n1), plus the
+  /// partition-family per-result term scan_result_ns (the g^-1 inversions
+  /// and document-order sort).
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return "HashBin"; }
 

@@ -8,6 +8,12 @@
 
 namespace fsi {
 
+double HybridIntersection::StepCost(const StepCostQuery& q,
+                                    const CostConstants& c) {
+  return std::min(RanGroupScanIntersection::StepCost(q, c),
+                  HashBinIntersection::StepCost(q, c));
+}
+
 HybridIntersection::HybridIntersection(const Options& options)
     : options_(options), scan_(options.scan) {}
 

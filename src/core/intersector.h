@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "core/hash_bin.h"
 #include "core/ran_group_scan.h"
 
@@ -41,6 +42,10 @@ class HybridIntersection : public IntersectionAlgorithm {
 
   HybridIntersection() : HybridIntersection(Options()) {}
   explicit HybridIntersection(const Options& options);
+
+  /// Planner cost hook (core/cost.h): the facade takes whichever of its two
+  /// paths is cheaper — min(RanGroupScan::StepCost, HashBin::StepCost).
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return "Hybrid"; }
 

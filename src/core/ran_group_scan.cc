@@ -7,6 +7,12 @@
 
 namespace fsi {
 
+double RanGroupScanIntersection::StepCost(const StepCostQuery& q,
+                                          const CostConstants& c) {
+  return c.scan_ns * static_cast<double>(q.small_size + q.large_size) +
+         c.scan_result_ns * q.est_result;
+}
+
 ScanSet::ScanSet(std::span<const Elem> set, const FeistelPermutation& g,
                  const WordHashFamily& hashes, int t)
     : t_(t), m_(hashes.size()) {

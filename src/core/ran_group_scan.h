@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "hash/feistel.h"
 #include "hash/universal_hash.h"
 #include "simd/intersect_kernels.h"
@@ -106,6 +107,11 @@ class RanGroupScanIntersection : public IntersectionAlgorithm {
 
   RanGroupScanIntersection() : RanGroupScanIntersection(Options()) {}
   explicit RanGroupScanIntersection(const Options& options);
+
+  /// Planner cost hook (core/cost.h): the Theorem 3.9 bound
+  /// O(mn/sqrt(w) + r) with the m/sqrt(w) factor folded into the calibrated
+  /// constant — cost = scan_ns * (n1 + n2) + scan_result_ns * r.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return name_; }
 

@@ -27,6 +27,10 @@ namespace fsi {
 /// Inverted index over string terms with a pluggable intersection engine.
 class InvertedIndex {
  public:
+  /// Zero-config: the cost-model planner picks the intersection algorithm
+  /// per query (Engine's default path, api/planner.h).
+  InvertedIndex() : InvertedIndex(Engine()) {}
+
   /// The engine pre-processes every posting list at Finalize() time and
   /// answers the conjunctive queries.  Copying an Engine shares its
   /// algorithm instance, so the index owns everything it needs — no

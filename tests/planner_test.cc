@@ -1,0 +1,469 @@
+// Tests for the cost-model query planner (api/planner.h): cost hooks on
+// the registry descriptors, the zero-config Engine default path, plan
+// shape and Explain(), calibration determinism and JSON round-trips, and
+// planner-vs-explicit-spec result equality across every registered
+// algorithm and sink.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsi.h"
+#include "index/inverted_index.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+ElemList GroundTruth(const std::vector<ElemList>& lists) {
+  if (lists.empty()) return {};
+  ElemList acc = lists[0];
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    ElemList next;
+    std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    acc.swap(next);
+  }
+  return acc;
+}
+
+std::vector<PreparedSet> PrepareAll(const Engine& engine,
+                                    const std::vector<ElemList>& lists) {
+  std::vector<PreparedSet> prepared;
+  prepared.reserve(lists.size());
+  for (const ElemList& l : lists) prepared.push_back(engine.Prepare(l));
+  return prepared;
+}
+
+// A deterministic planner engine for plan-shape tests: calibration=off pins
+// the built-in constants regardless of the environment.
+Engine DeterministicPlanner() { return Engine("Planner:calibration=off"); }
+
+// ---------------------------------------------------------------------------
+// Registry cost hooks.
+// ---------------------------------------------------------------------------
+
+TEST(CostHookTest, PortfolioDescriptorsPublishCosts) {
+  auto& registry = AlgorithmRegistry::Global();
+  for (const char* name : {"Merge", "SvS", "RanGroupScan", "HashBin",
+                           "Hybrid"}) {
+    const AlgorithmDescriptor* d = registry.Find(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_NE(d->cost, nullptr) << name;
+  }
+  for (const char* name : {"Adaptive", "SkipList", "Hash", "Lookup",
+                           "Merge_Gamma", "Planner"}) {
+    const AlgorithmDescriptor* d = registry.Find(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_EQ(d->cost, nullptr) << name;
+  }
+}
+
+TEST(CostHookTest, FormulasFollowThePaperBounds) {
+  CostConstants c;  // built-in defaults
+  StepCostQuery balanced{10000, 10000, 100.0};
+  StepCostQuery skewed{100, 1000000, 10.0};
+  auto& registry = AlgorithmRegistry::Global();
+  auto cost = [&](const char* name, const StepCostQuery& q) {
+    return registry.Find(name)->cost(q, c);
+  };
+  // Balanced: the linear-scan families beat the gallop family.
+  EXPECT_LT(cost("Merge", balanced), cost("SvS", balanced));
+  // Heavily skewed: galloping beats scanning a million elements.
+  EXPECT_LT(cost("SvS", skewed), cost("Merge", skewed));
+  // Hybrid is the min of its two paths.
+  EXPECT_DOUBLE_EQ(cost("Hybrid", skewed),
+                   std::min(cost("RanGroupScan", skewed),
+                            cost("HashBin", skewed)));
+}
+
+// ---------------------------------------------------------------------------
+// The zero-config default path.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerEngineTest, DefaultEngineIsThePlanner) {
+  Engine engine;
+  EXPECT_EQ(engine.algorithm_name(), "Planner");
+  PreparedSet a = engine.Prepare({1, 3, 5, 7});
+  PreparedSet b = engine.Prepare({3, 4, 7, 9});
+  EXPECT_EQ(engine.Query({&a, &b}).Materialize(), (ElemList{3, 7}));
+}
+
+TEST(PlannerEngineTest, AutoAliasResolvesHidden) {
+  Engine engine("auto");
+  EXPECT_EQ(engine.algorithm_name(), "Planner");
+  auto visible = AlgorithmRegistry::Global().Names(/*include_hidden=*/false);
+  EXPECT_EQ(std::find(visible.begin(), visible.end(), "auto"), visible.end());
+  auto all = AlgorithmRegistry::Global().Names(/*include_hidden=*/true);
+  EXPECT_NE(std::find(all.begin(), all.end(), "auto"), all.end());
+}
+
+TEST(PlannerEngineTest, PlannedSetExposesBothStructures) {
+  Engine engine = DeterministicPlanner();
+  PreparedSet a = engine.Prepare({10, 20, 30, 40, 50});
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.algorithm_name(), "Planner");
+  const auto* planned = dynamic_cast<const PlannedSet*>(a.raw());
+  ASSERT_NE(planned, nullptr);
+  EXPECT_GT(planned->NumGroups(), 0u);  // the scan structure is present
+  // The composite is strictly larger than the plain array alone.
+  EXPECT_GT(a.SizeInWords(), (5 * sizeof(Elem) + 7) / 8);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: k = 1, empty sets, empty queries, equal sizes, density.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerEdgeCaseTest, SingleSetQueryReturnsTheSet) {
+  Engine engine = DeterministicPlanner();
+  ElemList list = {2, 4, 6, 8};
+  PreparedSet a = engine.Prepare(list);
+  EXPECT_EQ(engine.Query({&a}).Materialize(), list);
+  EXPECT_EQ(engine.Query({&a}).Count(), list.size());
+  QueryPlan plan = engine.Query({&a}).Explain();
+  EXPECT_TRUE(plan.planned);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_EQ(plan.est_result, 4.0);
+}
+
+TEST(PlannerEdgeCaseTest, EmptyInputSetShortCircuits) {
+  Engine engine = DeterministicPlanner();
+  PreparedSet empty = engine.Prepare(std::initializer_list<Elem>{});
+  PreparedSet full = engine.Prepare({1, 2, 3});
+  EXPECT_TRUE(engine.Query({&empty, &full}).Materialize().empty());
+  EXPECT_TRUE(engine.Query({&full, &empty}).Materialize().empty());
+  EXPECT_TRUE(engine.Query({&empty, &empty}).Materialize().empty());
+  EXPECT_EQ(engine.Query({&full, &empty}).Count(), 0u);
+  QueryPlan plan = engine.Query({&full, &empty}).Explain();
+  EXPECT_TRUE(plan.steps.empty());  // trivially empty: no steps to run
+  EXPECT_EQ(plan.est_result, 0.0);
+}
+
+TEST(PlannerEdgeCaseTest, EmptyQueryMaterializesEmpty) {
+  Engine engine = DeterministicPlanner();
+  EXPECT_TRUE(engine.Query({}).Materialize().empty());
+}
+
+TEST(PlannerEdgeCaseTest, AllEqualSizesKeepsStableOrder) {
+  Engine engine = DeterministicPlanner();
+  Xoshiro256 rng(7);
+  auto lists = GenerateIntersectingSets({500, 500, 500}, 31, 1 << 18, rng);
+  auto prepared = PrepareAll(engine, lists);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+  QueryPlan plan = engine.Query(prepared).Explain();
+  EXPECT_EQ(plan.order, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.steps.size(), 2u);
+}
+
+TEST(PlannerEdgeCaseTest, AdversarialDensity) {
+  Engine engine = DeterministicPlanner();
+  // Identical sets: 100% density, the Figure-5 large-r regime.
+  ElemList dense;
+  for (Elem i = 0; i < 4096; ++i) dense.push_back(i * 3);
+  PreparedSet a = engine.Prepare(dense);
+  PreparedSet b = engine.Prepare(dense);
+  EXPECT_EQ(engine.Query({&a, &b}).Materialize(), dense);
+  // Disjoint sets over interleaved values: 0% density, every element
+  // adjacent to the other set's.
+  ElemList odd;
+  for (Elem i = 0; i < 4096; ++i) odd.push_back(i * 3 + 1);
+  PreparedSet c = engine.Prepare(odd);
+  EXPECT_TRUE(engine.Query({&a, &c}).Materialize().empty());
+  EXPECT_EQ(engine.Query({&a, &c}).Count(), 0u);
+}
+
+TEST(PlannerEdgeCaseTest, HighArityQueries) {
+  Engine engine = DeterministicPlanner();
+  Xoshiro256 rng(11);
+  auto lists =
+      GenerateIntersectingSets({100, 200, 400, 800, 1600, 3200}, 9, 1 << 20,
+                               rng);
+  auto prepared = PrepareAll(engine, lists);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+  EXPECT_EQ(engine.Query(prepared).Explain().steps.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Plans and Explain().
+// ---------------------------------------------------------------------------
+
+TEST(ExplainTest, OrdersSetsSmallestFirst) {
+  Engine engine = DeterministicPlanner();
+  Xoshiro256 rng(3);
+  auto lists = GenerateIntersectingSets({40000, 300, 5000}, 13, 1 << 22, rng);
+  auto prepared = PrepareAll(engine, lists);
+  fsi::Query query = engine.Query(prepared);
+  QueryPlan plan = query.Explain();
+  EXPECT_TRUE(plan.planned);
+  EXPECT_EQ(plan.order, (std::vector<std::size_t>{1, 2, 0}));
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].left_size, 300u);
+  EXPECT_EQ(plan.steps[0].right_size, 5000u);
+  EXPECT_FALSE(plan.steps[0].left_estimated);
+  EXPECT_TRUE(plan.steps[1].left_estimated);
+  EXPECT_EQ(plan.steps[1].right_size, 40000u);
+  EXPECT_GT(plan.predicted_micros, 0.0);
+  // The prediction is mirrored into the structural stats before execution.
+  EXPECT_DOUBLE_EQ(query.stats().predicted_micros, plan.predicted_micros);
+  // Every step names a portfolio algorithm, and the rendering mentions it.
+  std::string text = plan.ToString();
+  for (const PlanStep& step : plan.steps) {
+    EXPECT_NE(text.find(step.algorithm), std::string::npos);
+  }
+}
+
+TEST(ExplainTest, ExplicitSpecEnginePseudoPlan) {
+  Engine engine("Merge");
+  Xoshiro256 rng(5);
+  auto lists = GenerateIntersectingSets({1000, 2000}, 10, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  fsi::Query query = engine.Query(prepared);
+  QueryPlan plan = query.Explain();
+  EXPECT_FALSE(plan.planned);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].algorithm, "Merge");
+  EXPECT_GT(plan.predicted_micros, 0.0);  // Merge publishes a cost hook
+  EXPECT_DOUBLE_EQ(query.stats().predicted_micros, plan.predicted_micros);
+
+  // An algorithm without a cost hook predicts nothing.
+  Engine no_hook("Adaptive");
+  auto prepared2 = PrepareAll(no_hook, lists);
+  fsi::Query query2 = no_hook.Query(prepared2);
+  EXPECT_EQ(query2.Explain().predicted_micros, 0.0);
+  EXPECT_EQ(query2.stats().predicted_micros, 0.0);
+}
+
+TEST(ExplainTest, SkewSelectsAGallopFamilyBalancedSelectsAScanFamily) {
+  // With the built-in constants the model must reproduce the paper's
+  // regimes: heavy skew -> a log-bound algorithm (SvS or HashBin);
+  // balanced high-density -> a linear-scan algorithm (Merge/RanGroupScan).
+  Engine engine = DeterministicPlanner();
+  Xoshiro256 rng(9);
+  auto skewed = GenerateIntersectingSets({50, 200000}, 5, 1 << 24, rng);
+  auto prepared = PrepareAll(engine, skewed);
+  QueryPlan skew_plan = engine.Query(prepared).Explain();
+  ASSERT_EQ(skew_plan.steps.size(), 1u);
+  EXPECT_TRUE(skew_plan.steps[0].algorithm == "SvS" ||
+              skew_plan.steps[0].algorithm == "HashBin")
+      << skew_plan.steps[0].algorithm;
+
+  auto balanced = GenerateIntersectingSets({30000, 30000}, 3000, 1 << 17, rng);
+  auto prepared2 = PrepareAll(engine, balanced);
+  QueryPlan flat_plan = engine.Query(prepared2).Explain();
+  ASSERT_EQ(flat_plan.steps.size(), 1u);
+  EXPECT_TRUE(flat_plan.steps[0].algorithm == "Merge" ||
+              flat_plan.steps[0].algorithm == "RanGroupScan")
+      << flat_plan.steps[0].algorithm;
+}
+
+TEST(ExplainTest, MixedChainPlansExecuteCorrectly) {
+  // Constants rigged so the balanced first step prefers RanGroupScan while
+  // the heavily skewed final step prefers galloping — a non-uniform chain
+  // (a uniform scan plan would pay scan_ns over the whole 500k-element
+  // set; a uniform gallop plan overpays on the balanced first step).
+  CostConstants rigged;
+  rigged.merge_ns = 1.0;
+  rigged.scan_ns = 0.1;
+  rigged.gallop_ns = 1.0;
+  rigged.scan_result_ns = 0.001;
+  PlannerAlgorithm::Options options;
+  options.constants = rigged;
+  Engine engine(std::make_unique<PlannerAlgorithm>(options));
+  Xoshiro256 rng(13);
+  auto lists =
+      GenerateIntersectingSets({3000, 4000, 500000}, 111, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  QueryPlan plan = engine.Query(prepared).Explain();
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].algorithm, "RanGroupScan");
+  EXPECT_EQ(plan.steps[1].algorithm, "SvS");
+  EXPECT_FALSE(plan.uniform);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+  ElemList unordered = engine.Query(prepared).Unordered().Materialize();
+  std::sort(unordered.begin(), unordered.end());
+  EXPECT_EQ(unordered, GroundTruth(lists));
+}
+
+// ---------------------------------------------------------------------------
+// Calibration: determinism, JSON round-trip, the measured sweep.
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTest, CalibrationOffIsDeterministic) {
+  Engine a = DeterministicPlanner();
+  Engine b = DeterministicPlanner();
+  const auto& alg_a = dynamic_cast<const PlannerAlgorithm&>(a.algorithm());
+  const auto& alg_b = dynamic_cast<const PlannerAlgorithm&>(b.algorithm());
+  EXPECT_EQ(alg_a.calibration_source(), "default");
+  const CostConstants defaults;
+  EXPECT_EQ(alg_a.constants().merge_ns, defaults.merge_ns);
+  EXPECT_EQ(alg_a.constants().scan_ns, defaults.scan_ns);
+  EXPECT_EQ(alg_a.constants().gallop_ns, alg_b.constants().gallop_ns);
+  // Identical constants => identical plans, run to run and engine to
+  // engine.
+  Xoshiro256 rng(21);
+  auto lists = GenerateIntersectingSets({700, 900, 40000}, 17, 1 << 20, rng);
+  auto pa = PrepareAll(a, lists);
+  auto pb = PrepareAll(b, lists);
+  EXPECT_EQ(a.Query(pa).Explain().ToString(), b.Query(pb).Explain().ToString());
+}
+
+TEST(CalibrationTest, JsonRoundTrip) {
+  PlannerCalibration cal;
+  cal.constants.merge_ns = 0.375;
+  cal.constants.gallop_ns = 2.25;
+  cal.constants.scan_ns = 1.5;
+  cal.constants.hashbin_ns = 8.125;
+  cal.constants.result_ns = 5.5;
+  cal.constants.scan_result_ns = 77.25;
+  cal.source = "measured";
+  PlannerCalibration parsed = PlannerCalibration::FromJson(cal.ToJson());
+  EXPECT_EQ(parsed.source, "json");
+  EXPECT_DOUBLE_EQ(parsed.constants.merge_ns, 0.375);
+  EXPECT_DOUBLE_EQ(parsed.constants.gallop_ns, 2.25);
+  EXPECT_DOUBLE_EQ(parsed.constants.scan_ns, 1.5);
+  EXPECT_DOUBLE_EQ(parsed.constants.hashbin_ns, 8.125);
+  EXPECT_DOUBLE_EQ(parsed.constants.result_ns, 5.5);
+  EXPECT_DOUBLE_EQ(parsed.constants.scan_result_ns, 77.25);
+}
+
+TEST(CalibrationTest, MalformedJsonThrows) {
+  EXPECT_THROW(PlannerCalibration::FromJson("{}"), std::invalid_argument);
+  EXPECT_THROW(PlannerCalibration::FromJson("not json at all"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PlannerCalibration::FromJson(
+          "{\"merge_ns\": 1, \"gallop_ns\": 1, \"scan_ns\": 1, "
+          "\"hashbin_ns\": 1, \"result_ns\": 1, \"scan_result_ns\": bogus}"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PlannerCalibration::FromJson(
+          "{\"merge_ns\": -3, \"gallop_ns\": 1, \"scan_ns\": 1, "
+          "\"hashbin_ns\": 1, \"result_ns\": 1, \"scan_result_ns\": 1}"),
+      std::invalid_argument);
+}
+
+TEST(CalibrationTest, MeasuredSweepProducesSaneConstants) {
+  PlannerCalibration measured = PlannerCalibration::Measure();
+  EXPECT_EQ(measured.source, "measured");
+  for (double v :
+       {measured.constants.merge_ns, measured.constants.gallop_ns,
+        measured.constants.scan_ns, measured.constants.hashbin_ns,
+        measured.constants.scan_result_ns}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 2001.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner-vs-explicit-spec equality, every registered algorithm x sink.
+// ---------------------------------------------------------------------------
+
+class PlannerAgreementTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerAgreementTest, MatchesExplicitSpecAcrossSinks) {
+  const std::string& name = GetParam();
+  Engine explicit_engine(name, {.validation = ValidationPolicy::kFull});
+  Engine planner = DeterministicPlanner();
+  Xoshiro256 rng(0xfeedULL);
+  std::vector<std::vector<std::size_t>> shapes = {{600, 800},
+                                                  {90, 1200, 20000}};
+  for (const auto& sizes : shapes) {
+    if (sizes.size() > explicit_engine.max_query_sets()) continue;
+    auto lists = GenerateIntersectingSets(sizes, 23, 1 << 20, rng);
+    auto expected = GroundTruth(lists);
+
+    auto pe = PrepareAll(explicit_engine, lists);
+    auto pp = PrepareAll(planner, lists);
+
+    // The explicit engine agrees with ground truth...
+    EXPECT_EQ(explicit_engine.Query(pe).Materialize(), expected) << name;
+    // ...and the planner agrees with it through every sink.
+    EXPECT_EQ(planner.Query(pp).Materialize(), expected) << name;
+    ElemList unordered = planner.Query(pp).Unordered().Materialize();
+    std::sort(unordered.begin(), unordered.end());
+    EXPECT_EQ(unordered, expected) << name;
+    EXPECT_EQ(planner.Query(pp).Count(), expected.size()) << name;
+    ElemList into;
+    planner.Query(pp).ExecuteInto(&into);
+    EXPECT_EQ(into, expected) << name;
+    ElemList visited;
+    planner.Query(pp).Visit([&](Elem e) { visited.push_back(e); });
+    EXPECT_EQ(visited, expected) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredAlgorithms, PlannerAgreementTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (auto n : AlgorithmRegistry::Global().Names(/*include_hidden=*/true))
+        names.emplace_back(n);
+      return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// Planner-aware BatchRunner and InvertedIndex.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerBatchTest, BatchRunnerMatchesSerialAndSumsPredictions) {
+  Engine engine = DeterministicPlanner();
+  Xoshiro256 rng(31);
+  std::vector<std::vector<ElemList>> workloads;
+  workloads.push_back(GenerateIntersectingSets({500, 700}, 19, 1 << 18, rng));
+  workloads.push_back(
+      GenerateIntersectingSets({60, 900, 30000}, 7, 1 << 22, rng));
+  workloads.push_back(GenerateIntersectingSets({2000, 2000}, 400, 1 << 16,
+                                               rng));
+  std::vector<std::vector<PreparedSet>> prepared;
+  std::vector<BatchQuery> batch;
+  for (const auto& lists : workloads) {
+    prepared.push_back(PrepareAll(engine, lists));
+    BatchQuery q;
+    for (const PreparedSet& s : prepared.back()) q.push_back(&s);
+    batch.push_back(std::move(q));
+  }
+  BatchRunner runner(engine, {.num_threads = 4});
+  std::vector<ElemList> results = runner.Materialize(batch);
+  ASSERT_EQ(results.size(), workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    EXPECT_EQ(results[i], GroundTruth(workloads[i])) << "query " << i;
+  }
+  // The merged stats carry the cost model's forecast of the whole batch.
+  EXPECT_GT(runner.stats().predicted_micros, 0.0);
+}
+
+TEST(PlannerIndexTest, DefaultConstructedIndexUsesThePlanner) {
+  InvertedIndex index;
+  EXPECT_EQ(index.engine().algorithm_name(), "Planner");
+  std::vector<std::vector<std::string>> docs = {
+      {"fast", "set", "intersection"},
+      {"fast", "planner"},
+      {"set", "planner", "intersection"},
+      {"fast", "set", "planner"},
+  };
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    index.AddDocument(static_cast<Elem>(i + 1), docs[i]);
+  }
+  index.Finalize();
+  std::vector<std::string> q = {"fast", "set"};
+  QueryStats stats;
+  EXPECT_EQ(index.Query(q, &stats), (ElemList{1, 4}));
+  EXPECT_EQ(index.CountMatching(q), 2u);
+  std::vector<std::vector<std::string>> log = {q, {"planner"}, {"unknown"}};
+  auto batched = index.BatchMatch(log);
+  ASSERT_EQ(batched.size(), 3u);
+  EXPECT_EQ(batched[0], (ElemList{1, 4}));
+  EXPECT_EQ(batched[1], (ElemList{2, 3, 4}));
+  EXPECT_TRUE(batched[2].empty());
+}
+
+}  // namespace
+}  // namespace fsi
