@@ -10,7 +10,10 @@ one compact row per benchmark, the fig13 thread-scaling ratios
 (throughput at N workers over the single-thread baseline, per algorithm),
 a ``planner_vs_best_static`` section condensing the fig_planner report
 (planner mean time over the best/worst static choice, per query class,
-plus the cost-model prediction accuracy — the numbers CI gates on), and —
+plus the cost-model prediction accuracy — the numbers CI gates on), a
+``mutation_overhead`` section condensing the fig_mutation export (query
+latency at each delta-fill level over the empty-delta baseline, the
+post-compaction ratio, compaction cost and insert throughput), and —
 when the directory has a ``scalar/`` subdirectory holding a second run
 made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
 per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
@@ -141,6 +144,74 @@ def row(bench):
     return out
 
 
+def mutation_overhead(benchmarks):
+    """Query-latency overhead of the mutable-set delta tier (fig_mutation).
+
+    Ratios are latencies normalized to the fill:0 baseline — a freshly
+    prepared mutable set with an empty delta.  ``overhead_vs_fill`` is the
+    default ordered sink (fixup = two linear merges; CI gates on it);
+    ``unordered_overhead_vs_fill`` is the .Unordered() sink, which pays a
+    Bloom-gated screening pass over the whole result.
+    ``post_compaction_ratio`` is the ordered query after Compact() folded
+    a 10% delta back into the base; the mutability layer's contract is
+    that it returns to ~1.0.
+
+    Benchmark JSON names carry the registered label plus one trailing
+    ``/<arg>`` component per Args() value, so all matching here is prefix
+    based (e.g. ``mutation/query_vs_fill/fill:10/10/0``).
+    """
+    rows = [
+        b for b in benchmarks
+        if b.get("name", "").startswith("mutation/") and b.get("real_time")
+    ]
+
+    def find(prefix):
+        for b in rows:
+            name = b["name"]
+            if name == prefix or name.startswith(prefix + "/"):
+                return b
+        return None
+
+    def fill_curve(stem, baseline):
+        pattern = re.compile(r"^" + re.escape(stem) + r"/fill:(\d+)(/|$)")
+        curve = {}
+        for b in rows:
+            match = pattern.match(b["name"])
+            if match and int(match.group(1)) > 0:
+                curve[match.group(1)] = round(b["real_time"] / baseline, 2)
+        return curve
+
+    base = find("mutation/query_vs_fill/fill:0")
+    if not base:
+        return None
+    baseline = base["real_time"]
+    section = {
+        "baseline_us": round(baseline, 3),
+        "overhead_vs_fill": fill_curve("mutation/query_vs_fill", baseline),
+    }
+    ubase = find("mutation/query_vs_fill_unordered/fill:0")
+    if ubase:
+        section["unordered_baseline_us"] = round(ubase["real_time"], 3)
+        section["unordered_overhead_vs_fill"] = fill_curve(
+            "mutation/query_vs_fill_unordered", ubase["real_time"])
+    post = find("mutation/post_compaction")
+    if post:
+        section["post_compaction_ratio"] = round(
+            post["real_time"] / baseline, 2)
+    compact_pattern = re.compile(r"^mutation/compact_cost/fill:(\d+)(/|$)")
+    compact = {}
+    for b in rows:
+        match = compact_pattern.match(b["name"])
+        if match:
+            compact[match.group(1)] = round(b["real_time"], 3)
+    if compact:
+        section["compact_cost_ms"] = compact
+    inserts = find("mutation/insert_throughput")
+    if inserts and inserts.get("items_per_second"):
+        section["inserts_per_second"] = round(inserts["items_per_second"], 1)
+    return section
+
+
 def fig13_scaling(benchmarks):
     """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
     qps = {}  # algorithm -> {threads: items_per_second}
@@ -196,6 +267,10 @@ def main():
     scaling = fig13_scaling(all_benchmarks)
     if scaling:
         summary["fig13_thread_scaling"] = scaling
+
+    mutation = mutation_overhead(all_benchmarks)
+    if mutation:
+        summary["mutation_overhead"] = mutation
 
     planner = load_planner_text(directory)
     if planner:

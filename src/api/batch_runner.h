@@ -22,6 +22,14 @@
 // each query runs exactly as Engine::Query would run it, only the
 // assignment of queries to threads varies.
 //
+// Mutable sets (Engine::PrepareMutable) compose with batches: each query
+// snapshots every mutable input when its worker starts executing it, so a
+// batch racing concurrent Insert/Erase sees, per query, one consistent
+// version of each set — never a torn state.  Different queries of the
+// same batch may observe different versions (they start at different
+// times); the bitwise-identical-to-serial guarantee therefore holds
+// whenever no writer runs during the batch.
+//
 // What is shared and what is per-thread:
 //   shared, read-only:  the Engine's algorithm, every PreparedSet
 //                       structure, the query list;

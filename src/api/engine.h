@@ -28,6 +28,10 @@
 // Thread-safety: a const Engine and its PreparedSets may be shared across
 // threads.  Query objects are per-thread values: build one per query (or
 // reuse one per thread — terminals may be invoked repeatedly).
+// Mutable sets (Engine::PrepareMutable) additionally allow concurrent
+// Insert/Erase while readers run lock-free: every query terminal observes
+// one consistent snapshot of each mutable input, taken when the terminal
+// starts (see docs/ARCHITECTURE.md, "Mutability & epochs").
 
 #ifndef FSI_API_ENGINE_H_
 #define FSI_API_ENGINE_H_
@@ -49,6 +53,24 @@
 namespace fsi {
 
 class PlannerAlgorithm;  // the cost-model planner (api/planner.h)
+class MutableSetCore;    // the mutable-set runtime (api/epoch.h)
+
+/// Construction options for Engine::PrepareMutable — the compaction
+/// policy of one mutable set.  Compaction merges the delta tier (insert
+/// buffer + erase tombstones, core/delta_set.h) back into the base
+/// structure; until it runs, every query pays a fixup pass proportional
+/// to the delta size.
+struct MutableSetOptions {
+  /// Compact when |delta| >= compact_fill * |base| ...
+  double compact_fill = 0.10;
+  /// ... but never before |delta| reaches this floor (tiny sets would
+  /// otherwise recompact on every mutation).
+  std::size_t compact_min = 1024;
+  /// true: rebuilds run on the process-wide background worker and swap in
+  /// atomically (writers never block on a rebuild).  false: no automatic
+  /// compaction — call PreparedSet::Compact() explicitly.
+  bool background_compaction = true;
+};
 
 /// Governs whether Prepare() runs the full O(n) sorted/duplicate-free
 /// input validation.  kDefault resolves per build type: enabled in Debug,
@@ -98,32 +120,74 @@ struct QueryPlan;  // the chosen execution plan (api/planner.h)
 
 /// A value-semantic handle owning one preprocessed set together with a
 /// shared reference to the algorithm that built it.  Copyable (copies
-/// share the immutable structure); cheap to move.  A default-constructed
+/// share the underlying structure); cheap to move.  A default-constructed
 /// handle is empty and rejected by Engine::Query.
+///
+/// Handles come in two flavours:
+///  * Engine::Prepare builds an *immutable* set — the original
+///    build-once/read-only structure; Insert/Erase throw.
+///  * Engine::PrepareMutable builds a *mutable* set: Insert/Erase run
+///    concurrently with lock-free readers (queries, Contains), absorbing
+///    into a sorted delta tier that background compaction periodically
+///    merges back into the base structure (see docs/ARCHITECTURE.md,
+///    "Mutability & epochs").  Copies share the same mutable set.
 class PreparedSet {
  public:
   PreparedSet() = default;
 
-  bool empty_handle() const { return set_ == nullptr; }
-  /// Number of elements in the underlying set.
-  std::size_t size() const { return set_ ? set_->size() : 0; }
-  /// Structure footprint in 64-bit words.
-  std::size_t SizeInWords() const { return set_ ? set_->SizeInWords() : 0; }
+  bool empty_handle() const { return set_ == nullptr && core_ == nullptr; }
+  /// Whether the handle supports Insert/Erase (built by PrepareMutable).
+  bool is_mutable() const { return core_ != nullptr; }
+  /// Number of elements in the underlying (effective) set.
+  std::size_t size() const;
+  /// Structure footprint in 64-bit words (including any delta tier).
+  std::size_t SizeInWords() const;
   /// Name of the algorithm that built the structure ("" when empty).
   std::string_view algorithm_name() const {
     return algorithm_ ? algorithm_->name() : std::string_view();
   }
-  /// Escape hatch to the raw structure (nullptr when empty).
+  /// Escape hatch to the raw structure.  nullptr when empty — and for
+  /// mutable sets, whose current structure is only reachable through a
+  /// consistent snapshot (the raw pointer could be compacted away at any
+  /// moment).
   const PreprocessedSet* raw() const { return set_.get(); }
+
+  // Mutation API — mutable handles only; the others throw
+  // std::logic_error.  All of these are safe to call concurrently with
+  // any number of readers (queries over this set, Contains) and with each
+  // other; mutations on one set serialize on an internal writer mutex.
+
+  /// Adds `value` to the set; returns false when already present.
+  bool Insert(Elem value);
+  /// Removes `value` from the set; returns false when not present.
+  bool Erase(Elem value);
+  /// Lock-free membership probe of the effective set.
+  bool Contains(Elem value) const;
+  /// |insert buffer| + |erase tombstones| pending against the base.
+  std::size_t delta_size() const;
+  /// Monotone version counter (bumped by every mutation and compaction).
+  std::uint64_t version() const;
+  /// Synchronously merges the delta tier into a rebuilt base structure.
+  void Compact();
+  /// Blocks until no background compaction is scheduled or running for
+  /// this set.
+  void WaitForCompaction() const;
 
  private:
   friend class Engine;
   PreparedSet(std::shared_ptr<const IntersectionAlgorithm> algorithm,
               std::shared_ptr<const PreprocessedSet> set)
       : algorithm_(std::move(algorithm)), set_(std::move(set)) {}
+  PreparedSet(std::shared_ptr<const IntersectionAlgorithm> algorithm,
+              std::shared_ptr<MutableSetCore> core)
+      : algorithm_(std::move(algorithm)), core_(std::move(core)) {}
+
+  /// Throws std::logic_error unless is_mutable().
+  void RequireMutable(const char* operation) const;
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
-  std::shared_ptr<const PreprocessedSet> set_;
+  std::shared_ptr<const PreprocessedSet> set_;  // immutable handles
+  std::shared_ptr<MutableSetCore> core_;        // mutable handles
 };
 
 /// A fluent, self-contained query: holds shared ownership of everything it
@@ -207,18 +271,37 @@ class Query {
   Query(std::shared_ptr<const IntersectionAlgorithm> algorithm,
         std::vector<const PreprocessedSet*> sets,
         std::vector<std::shared_ptr<const PreprocessedSet>> retained,
-        QueryStats base, const PlannerAlgorithm* planner,
-        std::shared_ptr<const QueryPlan> plan)
+        std::vector<std::shared_ptr<MutableSetCore>> cores, QueryStats base,
+        const PlannerAlgorithm* planner, std::shared_ptr<const QueryPlan> plan,
+        double explicit_predicted)
       : algorithm_(std::move(algorithm)),
         sets_(std::move(sets)),
         retained_(std::move(retained)),
+        cores_(std::move(cores)),
         stats_(base),
         planner_(planner),
-        plan_(std::move(plan)) {}
+        plan_(std::move(plan)),
+        explicit_predicted_(explicit_predicted) {
+    for (const auto& core : cores_) {
+      if (core != nullptr) any_mutable_ = true;
+    }
+  }
+
+  /// The terminal path for queries over >= 1 mutable set: snapshots every
+  /// mutable input, re-plans against the snapshot (plans are cheap and a
+  /// build-time plan could be arbitrarily stale after mutations), runs
+  /// the base intersection, then applies the delta fixup
+  /// (core/delta_set.h).  Each terminal run observes one consistent
+  /// snapshot per set — concurrent mutations land in later runs.
+  QueryStats ExecuteMutableInto(ElemList* out);
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   std::vector<const PreprocessedSet*> sets_;
   std::vector<std::shared_ptr<const PreprocessedSet>> retained_;
+  /// Index-aligned with sets_: the mutable-set runtime per input, nullptr
+  /// for immutable inputs.  Non-empty only when any input is mutable.
+  std::vector<std::shared_ptr<MutableSetCore>> cores_;
+  bool any_mutable_ = false;
   bool ordered_ = true;
   std::size_t limit_ = SIZE_MAX;
   bool count_only_ = false;
@@ -226,8 +309,13 @@ class Query {
   QueryStats stats_;
   /// Set on planner engines: the plan computed once at query build, used
   /// by the terminals and Explain() so a query is never planned twice.
+  /// Null when any input is mutable — those queries re-plan per terminal
+  /// run against a fresh snapshot.
   const PlannerAlgorithm* planner_ = nullptr;
   std::shared_ptr<const QueryPlan> plan_;
+  /// Explicit-spec engines only: the cost hook's base prediction, reused
+  /// by mutable terminal runs (the hook itself stays with the Engine).
+  double explicit_predicted_ = 0.0;
 };
 
 /// Construction options for Engine.
@@ -262,6 +350,21 @@ class Engine {
   PreparedSet Prepare(std::span<const Elem> set) const;
   PreparedSet Prepare(std::initializer_list<Elem> set) const {
     return Prepare(std::span<const Elem>(set.begin(), set.size()));
+  }
+
+  /// Preprocesses one sorted, duplicate-free set into a *mutable* handle:
+  /// PreparedSet::Insert/Erase then run concurrently with lock-free
+  /// readers, and background compaction keeps the structure close to its
+  /// freshly-prepared form (see MutableSetOptions).  Queries mixing
+  /// mutable and immutable sets are fine.  Costs roughly one extra copy
+  /// of the element array over Prepare() (the base elements are retained
+  /// for delta merging), so the read-only paths keep using Prepare().
+  PreparedSet PrepareMutable(std::span<const Elem> set,
+                             MutableSetOptions options = {}) const;
+  PreparedSet PrepareMutable(std::initializer_list<Elem> set,
+                             MutableSetOptions options = {}) const {
+    return PrepareMutable(std::span<const Elem>(set.begin(), set.size()),
+                          options);
   }
 
   /// Builds a query over prepared sets.  Every handle must be non-empty

@@ -1,0 +1,391 @@
+#include "api/epoch.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace fsi {
+
+// ---------------------------------------------------------------------------
+// EpochManager
+//
+// Memory-ordering sketch (all epoch traffic is seq_cst; the proof only
+// needs the release-sequence rule, but seq_cst keeps the Dekker-style
+// pin-vs-scan race obviously sound and costs nothing off the hot path):
+//
+//   writer:  publish new state (release)            reader:  pinned := e
+//            er := fetch_add(global_epoch)                   g := global_epoch
+//            scan pinned slots                               retry if g != e
+//            free retired iff every pin > its epoch          ... dereference ...
+//
+// A reader pinned at p > er read p through the RMW chain headed by the
+// fetch_add at er, so it synchronizes with that retirement — and with the
+// publication sequenced before it — and therefore observes the *new*
+// state; only readers pinned at p <= er can hold the old pointer, and
+// those block reclamation.  A reader whose pin store raced behind the
+// scan re-reads the bumped global epoch and retries, so its final pin is
+// > er and the same argument applies.
+
+EpochManager& EpochManager::Global() {
+  static EpochManager* manager = new EpochManager();  // leaked singleton
+  return *manager;
+}
+
+EpochManager::ThreadSlot* EpochManager::AcquireSlot() {
+  struct SlotLease {
+    ThreadSlot* slot = nullptr;
+    ~SlotLease() {
+      if (slot != nullptr) {
+        slot->pinned.store(0, std::memory_order_release);
+        slot->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+  thread_local SlotLease lease;
+  if (lease.slot != nullptr) return lease.slot;
+  // Reuse a slot released by an exited thread, if any.
+  for (ThreadSlot* slot = slots_head_.load(std::memory_order_acquire);
+       slot != nullptr; slot = slot->next) {
+    bool expected = false;
+    if (slot->in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      slot->depth = 0;
+      lease.slot = slot;
+      return slot;
+    }
+  }
+  // Push a fresh slot; slots are never freed (the list only grows).
+  ThreadSlot* slot = new ThreadSlot();
+  ThreadSlot* head = slots_head_.load(std::memory_order_relaxed);
+  do {
+    slot->next = head;
+  } while (!slots_head_.compare_exchange_weak(head, slot,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+  lease.slot = slot;
+  return slot;
+}
+
+void EpochManager::Pin(ThreadSlot* slot) {
+  if (slot->depth++ > 0) return;  // reentrant: outer guard already pinned
+  std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot->pinned.store(epoch, std::memory_order_seq_cst);
+    std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == epoch) return;
+    epoch = now;  // an epoch bump raced past the pin: re-announce
+  }
+}
+
+void EpochManager::Unpin(ThreadSlot* slot) {
+  if (--slot->depth == 0) {
+    slot->pinned.store(0, std::memory_order_release);
+  }
+}
+
+std::uint64_t EpochManager::MinPinnedEpoch() const {
+  std::uint64_t min_pinned = std::numeric_limits<std::uint64_t>::max();
+  for (ThreadSlot* slot = slots_head_.load(std::memory_order_acquire);
+       slot != nullptr; slot = slot->next) {
+    std::uint64_t pinned = slot->pinned.load(std::memory_order_seq_cst);
+    if (pinned != 0) min_pinned = std::min(min_pinned, pinned);
+  }
+  return min_pinned;
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+  std::uint64_t epoch = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(RetiredObject{object, deleter, epoch});
+  }
+  TryReclaim();
+}
+
+void EpochManager::TryReclaim() {
+  std::uint64_t min_pinned = MinPinnedEpoch();
+  std::vector<RetiredObject> ready;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    auto still_pinned = [min_pinned](const RetiredObject& r) {
+      return r.epoch >= min_pinned;
+    };
+    auto split =
+        std::stable_partition(retired_.begin(), retired_.end(), still_pinned);
+    ready.assign(std::make_move_iterator(split),
+                 std::make_move_iterator(retired_.end()));
+    retired_.erase(split, retired_.end());
+  }
+  // Deleters run outside the lock: they may recurse into Retire.
+  for (const RetiredObject& r : ready) r.deleter(r.object);
+}
+
+std::size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return retired_.size();
+}
+
+EpochGuard::EpochGuard() : slot_(EpochManager::Global().AcquireSlot()) {
+  EpochManager::Global().Pin(slot_);
+}
+
+EpochGuard::~EpochGuard() { EpochManager::Global().Unpin(slot_); }
+
+// ---------------------------------------------------------------------------
+// BackgroundCompactor
+
+BackgroundCompactor& BackgroundCompactor::Global() {
+  static BackgroundCompactor* compactor =
+      new BackgroundCompactor();  // leaked singleton
+  return *compactor;
+}
+
+void BackgroundCompactor::Schedule(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!worker_started_) {
+    worker_started_ = true;
+    // Detached: the leaked singleton outlives every task, and process
+    // exit never waits on an idle worker.
+    std::thread(&BackgroundCompactor::RunWorker, this).detach();
+  }
+  queue_.push_back(std::move(task));
+  wake_.notify_one();
+}
+
+void BackgroundCompactor::RunWorker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return !queue_.empty(); });
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_task_ = true;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_task_ = false;
+      ++completed_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void BackgroundCompactor::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !running_task_; });
+}
+
+std::uint64_t BackgroundCompactor::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+// ---------------------------------------------------------------------------
+// MutableSetCore
+
+namespace {
+
+/// Skip-list retire hook: route unlinked nodes through the epoch manager
+/// (every skip-list operation in this file runs under an EpochGuard).
+void RetireSkipListNode(void* /*context*/, void* node, void (*deleter)(void*)) {
+  EpochManager::Global().Retire(node, deleter);
+}
+
+}  // namespace
+
+MutableSetCore::MutableSetCore(
+    std::shared_ptr<const IntersectionAlgorithm> algorithm, ElemList base,
+    MutableSetOptions options)
+    : algorithm_(std::move(algorithm)),
+      options_(options),
+      staged_inserts_(&RetireSkipListNode, nullptr),
+      staged_erases_(&RetireSkipListNode, nullptr) {
+  auto* state = new MutableSetState();
+  state->base = std::make_shared<const ElemList>(std::move(base));
+  state->structure =
+      std::shared_ptr<const PreprocessedSet>(algorithm_->Preprocess(
+          *state->base));
+  state->live_size = state->base->size();
+  state->version = 1;
+  state_.store(state, std::memory_order_release);
+}
+
+MutableSetCore::~MutableSetCore() {
+  // No readers can exist (shared ownership: queries, handles and pending
+  // compaction tasks all hold the core alive); superseded states were
+  // retired at publication and are reclaimed independently.
+  delete state_.load(std::memory_order_relaxed);
+}
+
+bool MutableSetCore::Insert(Elem value) {
+  EpochGuard guard;  // covers the skip-list mutation (node retirement)
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const MutableSetState* current = state_.load(std::memory_order_acquire);
+  std::optional<DeltaSnapshot> next_delta =
+      DeltaInsert(*current->base, current->delta, value);
+  if (!next_delta.has_value()) return false;
+  // Mirror the delta into the point-lookup tier before publishing; either
+  // order is linearizable (Contains never reads the published delta), but
+  // mirroring first keeps the "skip lists == published delta" invariant
+  // trivially inductive under writer_mutex_.
+  if (next_delta->erases != current->delta.erases) {
+    staged_erases_.Erase(value);  // the insert revoked a tombstone
+  } else {
+    staged_inserts_.Insert(value);
+  }
+  MutableSetState next{current->structure, current->base,
+                       std::move(*next_delta), current->live_size + 1,
+                       current->version + 1};
+  PublishLocked(std::move(next));
+  return true;
+}
+
+bool MutableSetCore::Erase(Elem value) {
+  EpochGuard guard;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const MutableSetState* current = state_.load(std::memory_order_acquire);
+  std::optional<DeltaSnapshot> next_delta =
+      DeltaErase(*current->base, current->delta, value);
+  if (!next_delta.has_value()) return false;
+  if (next_delta->inserts != current->delta.inserts) {
+    staged_inserts_.Erase(value);  // the erase revoked a pending insert
+  } else {
+    staged_erases_.Insert(value);
+  }
+  MutableSetState next{current->structure, current->base,
+                       std::move(*next_delta), current->live_size - 1,
+                       current->version + 1};
+  PublishLocked(std::move(next));
+  return true;
+}
+
+bool MutableSetCore::Contains(Elem value) const {
+  EpochGuard guard;
+  // Probe order matters against compaction, which publishes the rebuilt
+  // base *before* clearing the staged lists: a probe that misses a staged
+  // entry because compaction removed it observes (through the unlink it
+  // read) a state whose base already absorbed that entry.
+  if (staged_erases_.Contains(value)) return false;
+  if (staged_inserts_.Contains(value)) return true;
+  const MutableSetState* current = state_.load(std::memory_order_acquire);
+  const ElemList& base = *current->base;
+  const simd::Kernels& kernels = simd::DispatchedKernels();
+  std::size_t i = kernels.lower_bound(base.data(), base.size(), value);
+  return i < base.size() && base[i] == value;
+}
+
+MutableSetState MutableSetCore::Snapshot() const {
+  EpochGuard guard;
+  // Copying the state (five shared_ptr/scalar fields) while pinned yields
+  // an owning snapshot that stays consistent forever.
+  return *state_.load(std::memory_order_acquire);
+}
+
+std::size_t MutableSetCore::size() const {
+  EpochGuard guard;
+  return state_.load(std::memory_order_acquire)->live_size;
+}
+
+std::size_t MutableSetCore::delta_size() const {
+  EpochGuard guard;
+  return state_.load(std::memory_order_acquire)->delta.size();
+}
+
+std::uint64_t MutableSetCore::version() const {
+  EpochGuard guard;
+  return state_.load(std::memory_order_acquire)->version;
+}
+
+void MutableSetCore::PublishLocked(MutableSetState next) {
+  const auto* fresh = new MutableSetState(std::move(next));
+  const MutableSetState* old =
+      state_.exchange(fresh, std::memory_order_acq_rel);
+  EpochManager::Global().Retire(old);
+  MaybeScheduleCompactionLocked();
+}
+
+void MutableSetCore::MaybeScheduleCompactionLocked() {
+  if (!options_.background_compaction || compaction_scheduled_) return;
+  const MutableSetState* current = state_.load(std::memory_order_relaxed);
+  std::size_t threshold = std::max<std::size_t>(
+      std::max<std::size_t>(options_.compact_min, 1),
+      static_cast<std::size_t>(options_.compact_fill *
+                               static_cast<double>(current->base->size())));
+  if (current->delta.size() < threshold) return;
+  compaction_scheduled_ = true;
+  std::shared_ptr<MutableSetCore> self = shared_from_this();
+  BackgroundCompactor::Global().Schedule(
+      [self] { self->RunBackgroundCompaction(); });
+}
+
+void MutableSetCore::RunBackgroundCompaction() {
+  MutableSetState snap = Snapshot();
+  std::shared_ptr<const PreprocessedSet> structure;
+  std::shared_ptr<const ElemList> base;
+  if (!snap.delta.empty()) {
+    // The expensive part — merge + Preprocess — runs off-lock: writers
+    // stay unblocked for the whole rebuild.
+    ElemList effective = MergeEffective(*snap.base, snap.delta);
+    structure = std::shared_ptr<const PreprocessedSet>(
+        algorithm_->Preprocess(effective));
+    base = std::make_shared<const ElemList>(std::move(effective));
+  }
+  bool rearm = false;
+  {
+    EpochGuard guard;  // covers the staged-list cleanup
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    const MutableSetState* current = state_.load(std::memory_order_acquire);
+    if (structure != nullptr && current->version == snap.version) {
+      MutableSetState next;
+      next.structure = std::move(structure);
+      next.base = std::move(base);
+      next.live_size = next.base->size();
+      next.version = current->version + 1;
+      const auto* fresh = new MutableSetState(std::move(next));
+      const MutableSetState* old =
+          state_.exchange(fresh, std::memory_order_acq_rel);
+      EpochManager::Global().Retire(old);
+      // Clear the staged mirrors only *after* the publish above: a
+      // Contains that misses an entry here synchronizes (through the
+      // unlink CAS it observed) with the publication, so its base probe
+      // sees the compacted state.
+      for (Elem e : snap.delta.insert_span()) staged_inserts_.Erase(e);
+      for (Elem e : snap.delta.erase_span()) staged_erases_.Erase(e);
+    } else {
+      rearm = true;  // a mutation won the race; re-check the trigger
+    }
+    compaction_scheduled_ = false;
+    if (rearm) MaybeScheduleCompactionLocked();
+  }
+  compaction_cv_.notify_all();
+}
+
+void MutableSetCore::Compact() {
+  EpochGuard guard;  // keeps `current` alive across its retirement below
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const MutableSetState* current = state_.load(std::memory_order_acquire);
+  if (current->delta.empty()) return;
+  DeltaSnapshot old_delta = current->delta;
+  ElemList effective = MergeEffective(*current->base, old_delta);
+  MutableSetState next;
+  next.structure = std::shared_ptr<const PreprocessedSet>(
+      algorithm_->Preprocess(effective));
+  next.base = std::make_shared<const ElemList>(std::move(effective));
+  next.live_size = next.base->size();
+  next.version = current->version + 1;
+  const auto* fresh = new MutableSetState(std::move(next));
+  const MutableSetState* old =
+      state_.exchange(fresh, std::memory_order_acq_rel);
+  EpochManager::Global().Retire(old);
+  for (Elem e : old_delta.insert_span()) staged_inserts_.Erase(e);
+  for (Elem e : old_delta.erase_span()) staged_erases_.Erase(e);
+}
+
+void MutableSetCore::WaitForCompaction() const {
+  std::unique_lock<std::mutex> lock(writer_mutex_);
+  compaction_cv_.wait(lock, [this] { return !compaction_scheduled_; });
+}
+
+}  // namespace fsi

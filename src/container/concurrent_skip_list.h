@@ -1,0 +1,337 @@
+// A lock-free concurrent skip list (Herlihy & Shavit ch. 14.4 / Fraser's
+// mark-before-unlink design) backing the point-lookup tier of mutable
+// prepared sets (api/epoch.h).
+//
+// The static SkipList in container/skip_list.h is build-once/read-only —
+// exactly the property PR 6 removes.  This sibling supports concurrent
+// Insert / Erase / Contains with no locks anywhere:
+//
+//  * Every forward pointer is a tagged word: bit 0 of `next[level]` marks
+//    the *owning* node as logically deleted ("mark-before-unlink").  An
+//    Erase first CASes the mark into the victim's level-0 pointer — that
+//    CAS is the linearization point — and only then unlinks the node
+//    physically.  Readers that encounter a marked node either help unlink
+//    it (Find) or skip over it without writing (Contains).
+//  * Insert linearizes at the CAS that links the new node at level 0;
+//    upper-level links are filled in afterwards and are pure accelerators
+//    (a node is *in the set* iff it is reachable at level 0 and unmarked).
+//  * Unlinked nodes may still be visible to concurrent traversals, so they
+//    are never freed in place: they go through a retire hook.  By default
+//    retired nodes park on an internal Treiber stack freed by the
+//    destructor ("leak until teardown" — fine for bounded delta tiers);
+//    api/epoch.h plugs in epoch-based reclamation instead, in which case
+//    *every* operation must run under an fsi::EpochGuard.
+//
+// Memory ordering: publication of a node's key rides the release CAS that
+// links it; traversals load forward pointers with acquire.  No seq_cst and
+// no standalone fences — every synchronizing edge is a same-variable
+// release/acquire pair, which TSan models exactly.
+//
+// The tower height is capped at kMaxHeight = 16 (fine up to ~2^16 expected
+// elements, merely slower beyond) and drawn from a per-list atomic LCG, so
+// no coordination is needed on the random stream.
+
+#ifndef FSI_CONTAINER_CONCURRENT_SKIP_LIST_H_
+#define FSI_CONTAINER_CONCURRENT_SKIP_LIST_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace fsi {
+
+/// Retire hook: called with an unlinked node allocation and the function
+/// that frees it, once no concurrent traversal can still hold the pointer.
+using SkipListRetireFn = void (*)(void* context, void* node,
+                                  void (*deleter)(void*));
+
+/// Lock-free sorted set of `Key` (an unsigned integral or anything with
+/// `<` / `==` and cheap copies).  All public member functions are safe to
+/// call concurrently from any number of threads.
+template <typename Key>
+class ConcurrentSkipList {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  ConcurrentSkipList() : ConcurrentSkipList(nullptr, nullptr) {}
+
+  /// With a retire hook: unlinked nodes are handed to `retire(context,
+  /// node, deleter)` instead of the internal garbage stack.  The hook must
+  /// defer `deleter(node)` until concurrent traversals have drained (e.g.
+  /// via epoch reclamation); the destructor then only frees nodes still
+  /// *linked*, so the hook must eventually free what it was given.
+  ConcurrentSkipList(SkipListRetireFn retire, void* retire_context)
+      : retire_(retire),
+        retire_context_(retire_context),
+        head_(AllocNode(Key{}, kMaxHeight)) {
+    for (int level = 0; level < kMaxHeight; ++level) {
+      head_->next[level].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentSkipList(const ConcurrentSkipList&) = delete;
+  ConcurrentSkipList& operator=(const ConcurrentSkipList&) = delete;
+
+  /// Not thread-safe: requires external quiescence (no concurrent ops).
+  ~ConcurrentSkipList() {
+    Node* node = StripNode(head_->next[0].load(std::memory_order_relaxed));
+    while (node != nullptr) {
+      Node* next = StripNode(node->next[0].load(std::memory_order_relaxed));
+      FreeNode(node);
+      node = next;
+    }
+    FreeNode(head_);
+    Node* garbage = garbage_.load(std::memory_order_relaxed);
+    while (garbage != nullptr) {
+      Node* next = garbage->garbage_next;
+      FreeNode(garbage);
+      garbage = next;
+    }
+  }
+
+  /// Inserts `key`; returns false when already present.  Linearizes at the
+  /// level-0 link CAS (or at the Find that saw the key present).
+  bool Insert(Key key) {
+    int height = RandomHeight();
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      if (Find(key, preds, succs)) return false;
+      Node* node = AllocNode(key, height);
+      for (int level = 0; level < height; ++level) {
+        node->next[level].store(PackNode(succs[level]),
+                                std::memory_order_relaxed);
+      }
+      // The release CAS publishes the node (key + tower) at level 0.
+      std::uintptr_t expected = PackNode(succs[0]);
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, PackNode(node), std::memory_order_release,
+              std::memory_order_relaxed)) {
+        FreeNode(node);  // never published; free in place
+        continue;
+      }
+      LinkUpperLevels(node, height, preds, succs);
+      return true;
+    }
+  }
+
+  /// Erases `key`; returns false when absent (or when a concurrent Erase
+  /// won the race).  Linearizes at the CAS that marks the victim's level-0
+  /// forward pointer.
+  bool Erase(Key key) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    if (!Find(key, preds, succs)) return false;
+    Node* victim = succs[0];
+    // Mark the accelerator levels top-down first, so helpers stop using
+    // them before the logical deletion below.
+    for (int level = victim->height - 1; level >= 1; --level) {
+      std::uintptr_t word = victim->next[level].load(std::memory_order_acquire);
+      while (!IsMarked(word)) {
+        victim->next[level].compare_exchange_weak(word, word | kMark,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire);
+      }
+    }
+    // Level 0: exactly one thread wins the mark and owns the deletion.
+    std::uintptr_t word = victim->next[0].load(std::memory_order_acquire);
+    for (;;) {
+      if (IsMarked(word)) return false;  // a concurrent Erase won
+      if (victim->next[0].compare_exchange_weak(word, word | kMark,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        Find(key, preds, succs);  // physically unlink at every level
+        Retire(victim);
+        return true;
+      }
+    }
+  }
+
+  /// Wait-free-in-practice membership probe: never writes shared memory
+  /// (skips marked nodes instead of helping to unlink them).
+  bool Contains(Key key) const {
+    const Node* pred = head_;
+    const Node* curr = nullptr;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      curr = StripNode(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        std::uintptr_t succ_word =
+            curr->next[level].load(std::memory_order_acquire);
+        while (IsMarked(succ_word)) {  // skip logically deleted nodes
+          curr = StripNode(succ_word);
+          if (curr == nullptr) break;
+          succ_word = curr->next[level].load(std::memory_order_acquire);
+        }
+        if (curr == nullptr) break;
+        if (curr->key < key) {
+          pred = curr;
+          curr = StripNode(succ_word);
+        } else {
+          break;
+        }
+      }
+    }
+    return curr != nullptr && curr->key == key;
+  }
+
+  /// O(n) snapshot count of unmarked level-0 nodes (test/debug helper; the
+  /// value is a moment-in-time approximation under concurrent mutation).
+  std::size_t SizeSlow() const {
+    std::size_t count = 0;
+    const Node* node = StripNode(head_->next[0].load(std::memory_order_acquire));
+    while (node != nullptr) {
+      std::uintptr_t word = node->next[0].load(std::memory_order_acquire);
+      if (!IsMarked(word)) ++count;
+      node = StripNode(word);
+    }
+    return count;
+  }
+
+ private:
+  static constexpr std::uintptr_t kMark = 1;
+
+  struct Node {
+    Key key;
+    int height;
+    Node* garbage_next;  // Treiber-stack link, used only after unlink
+    std::atomic<std::uintptr_t> next[1];  // [height] words; bit 0 = marked
+  };
+
+  static Node* AllocNode(Key key, int height) {
+    static_assert(alignof(Node) >= 2, "tag bit needs an alignment bit");
+    std::size_t bytes = sizeof(Node) + static_cast<std::size_t>(height - 1) *
+                                           sizeof(std::atomic<std::uintptr_t>);
+    Node* node = static_cast<Node*>(::operator new(bytes, std::align_val_t{
+                                                              alignof(Node)}));
+    node->key = key;
+    node->height = height;
+    node->garbage_next = nullptr;
+    return node;
+  }
+
+  static void FreeNode(void* node) {
+    ::operator delete(node, std::align_val_t{alignof(Node)});
+  }
+
+  static bool IsMarked(std::uintptr_t word) { return (word & kMark) != 0; }
+  static std::uintptr_t PackNode(const Node* node) {
+    return reinterpret_cast<std::uintptr_t>(node);
+  }
+  static Node* StripNode(std::uintptr_t word) {
+    return reinterpret_cast<Node*>(word & ~kMark);
+  }
+
+  /// Herlihy-Shavit find: fills preds/succs with the unmarked neighbours
+  /// of `key` at every level, physically unlinking any marked node on the
+  /// search path (including a marked node equal to `key` — which is why a
+  /// retired node is guaranteed fully unlinked: the deleter's own Find
+  /// walks straight to it at every level it still occupies).  Returns
+  /// whether an unmarked node with `key` was found.
+  bool Find(Key key, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      curr = StripNode(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        std::uintptr_t succ_word =
+            curr->next[level].load(std::memory_order_acquire);
+        while (IsMarked(succ_word)) {
+          // Help: swing pred past the marked curr.
+          std::uintptr_t expected = PackNode(curr);
+          if (!pred->next[level].compare_exchange_strong(
+                  expected, succ_word & ~kMark, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            goto retry;  // pred changed (or got marked) under us
+          }
+          curr = StripNode(succ_word);
+          if (curr == nullptr) break;
+          succ_word = curr->next[level].load(std::memory_order_acquire);
+        }
+        if (curr == nullptr) break;
+        if (curr->key < key) {
+          pred = curr;
+          curr = StripNode(succ_word);
+        } else {
+          break;
+        }
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return curr != nullptr && curr->key == key;
+  }
+
+  /// Links `node` at levels [1, height).  Purely an accelerator: failures
+  /// (concurrent deletion of `node`) abandon the remaining levels.
+  void LinkUpperLevels(Node* node, int height, Node** preds, Node** succs) {
+    for (int level = 1; level < height; ++level) {
+      for (;;) {
+        std::uintptr_t node_word =
+            node->next[level].load(std::memory_order_acquire);
+        if (IsMarked(node_word)) return;  // node is being deleted
+        // Refresh node's forward pointer to the current successor first,
+        // so the link CAS below never publishes a stale tower.
+        if (StripNode(node_word) != succs[level]) {
+          if (!node->next[level].compare_exchange_strong(
+                  node_word, PackNode(succs[level]),
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            continue;
+          }
+        }
+        std::uintptr_t expected = PackNode(succs[level]);
+        if (preds[level]->next[level].compare_exchange_strong(
+                expected, PackNode(node), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          break;
+        }
+        // Neighbourhood changed: recompute it; stop if node is gone.
+        if (!Find(node->key, preds, succs) || succs[0] != node) return;
+      }
+    }
+  }
+
+  void Retire(Node* node) {
+    if (retire_ != nullptr) {
+      retire_(retire_context_, node, &FreeNode);
+      return;
+    }
+    Node* top = garbage_.load(std::memory_order_relaxed);
+    do {
+      node->garbage_next = top;
+    } while (!garbage_.compare_exchange_weak(top, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  /// Geometric(1/2) height in [1, kMaxHeight] from a racy-but-harmless
+  /// atomic LCG (collisions merely correlate tower heights).
+  int RandomHeight() {
+    std::uint64_t s =
+        rng_state_.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+    s ^= s >> 30;
+    s *= 0xBF58476D1CE4E5B9ull;
+    s ^= s >> 27;
+    s *= 0x94D049BB133111EBull;
+    s ^= s >> 31;
+    int height = 1;
+    while (height < kMaxHeight && (s & 1) != 0) {
+      ++height;
+      s >>= 1;
+    }
+    return height;
+  }
+
+  SkipListRetireFn retire_;
+  void* retire_context_;
+  Node* head_;
+  std::atomic<Node*> garbage_{nullptr};
+  std::atomic<std::uint64_t> rng_state_{0x106689D45497FDB5ull};
+};
+
+}  // namespace fsi
+
+#endif  // FSI_CONTAINER_CONCURRENT_SKIP_LIST_H_

@@ -1,5 +1,6 @@
 #include "index/inverted_index.h"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace fsi {
@@ -26,15 +27,79 @@ void InvertedIndex::AddDocument(Elem doc_id,
 
 void InvertedIndex::Finalize() {
   if (finalized_) throw std::logic_error("InvertedIndex: double Finalize");
-  structures_.reserve(postings_.size());
   for (const ElemList& list : postings_) {
     structures_.push_back(engine_.Prepare(list));
   }
   finalized_ = true;
 }
 
+void InvertedIndex::FinalizeUpdatable(MutableSetOptions options) {
+  if (finalized_) throw std::logic_error("InvertedIndex: double Finalize");
+  mutable_options_ = options;
+  for (const ElemList& list : postings_) {
+    structures_.push_back(engine_.PrepareMutable(list, options));
+  }
+  finalized_ = true;
+  updatable_ = true;
+}
+
+std::size_t InvertedIndex::InsertDocument(Elem doc_id,
+                                          std::span<const std::string> terms) {
+  if (!updatable_) {
+    throw std::logic_error(
+        "InvertedIndex: InsertDocument requires FinalizeUpdatable");
+  }
+  std::size_t changed = 0;
+  for (const std::string& term : terms) {
+    PreparedSet* posting = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+      auto it = dictionary_.find(term);
+      if (it != dictionary_.end()) posting = &structures_[it->second];
+    }
+    if (posting == nullptr) {
+      // Unseen term: grow the dictionary under the exclusive lock.  The
+      // deque push_back leaves every previously handed-out posting
+      // pointer valid.
+      std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+      auto [it, inserted] = dictionary_.try_emplace(term, structures_.size());
+      if (inserted) {
+        ElemList single{doc_id};
+        structures_.push_back(engine_.PrepareMutable(single, mutable_options_));
+        ++changed;
+        continue;
+      }
+      posting = &structures_[it->second];  // lost the race to another writer
+    }
+    // PreparedSet::Insert is internally synchronized; no index lock held.
+    if (posting->Insert(doc_id)) ++changed;
+  }
+  return changed;
+}
+
+std::size_t InvertedIndex::EraseDocument(Elem doc_id,
+                                         std::span<const std::string> terms) {
+  if (!updatable_) {
+    throw std::logic_error(
+        "InvertedIndex: EraseDocument requires FinalizeUpdatable");
+  }
+  std::size_t changed = 0;
+  for (const std::string& term : terms) {
+    PreparedSet* posting = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+      auto it = dictionary_.find(term);
+      if (it != dictionary_.end()) posting = &structures_[it->second];
+    }
+    if (posting == nullptr) continue;  // unknown term: nothing to remove
+    if (posting->Erase(doc_id)) ++changed;
+  }
+  return changed;
+}
+
 bool InvertedIndex::Resolve(std::span<const std::string> terms,
                             std::vector<const PreparedSet*>* sets) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   sets->reserve(terms.size());
   for (const std::string& term : terms) {
     auto it = dictionary_.find(term);
@@ -116,11 +181,22 @@ std::vector<std::size_t> InvertedIndex::BatchCount(TermQueries queries,
 }
 
 std::size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   auto it = dictionary_.find(std::string(term));
-  return it == dictionary_.end() ? 0 : postings_[it->second].size();
+  if (it == dictionary_.end()) return 0;
+  // Post-finalize the prepared structure is authoritative (delta-aware on
+  // an updatable index); before finalize only postings_ exists.
+  if (finalized_) return structures_[it->second].size();
+  return postings_[it->second].size();
+}
+
+std::size_t InvertedIndex::num_terms() const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  return dictionary_.size();
 }
 
 std::size_t InvertedIndex::SizeInWords() const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   std::size_t words = 0;
   for (const auto& s : structures_) words += s.SizeInWords();
   return words;

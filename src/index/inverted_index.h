@@ -12,6 +12,8 @@
 #define FSI_INDEX_INVERTED_INDEX_H_
 
 #include <cstddef>
+#include <deque>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -25,6 +27,15 @@
 namespace fsi {
 
 /// Inverted index over string terms with a pluggable intersection engine.
+///
+/// Two lifecycles:
+///  * build-once — AddDocument* ... Finalize(); the index is then
+///    read-only and fully thread-safe for queries;
+///  * updatable — AddDocument* ... FinalizeUpdatable(); queries run
+///    exactly as before (lock-free against the per-term structures), and
+///    InsertDocument/EraseDocument apply term-document updates
+///    concurrently with them (see docs/ARCHITECTURE.md, "Mutability &
+///    epochs", for the snapshot semantics each query gets).
 class InvertedIndex {
  public:
   /// Zero-config: the cost-model planner picks the intersection algorithm
@@ -43,6 +54,27 @@ class InvertedIndex {
   /// Builds the per-term structures.  Must be called once, after all
   /// AddDocument calls and before any query.
   void Finalize();
+
+  /// Like Finalize(), but builds every posting list as a *mutable*
+  /// prepared set (Engine::PrepareMutable): InsertDocument/EraseDocument
+  /// may then run concurrently with queries.  Costs one extra copy of the
+  /// posting elements per term (the retained base arrays).
+  void FinalizeUpdatable(MutableSetOptions options = {});
+
+  /// Bulk term-document update: adds `doc_id` to the posting list of every
+  /// term (creating postings for unseen terms).  Requires
+  /// FinalizeUpdatable; safe concurrently with queries and with other
+  /// updates.  Unlike AddDocument, doc ids may arrive in any order.
+  /// Returns the number of posting lists that actually changed.
+  /// Note: num_documents() keeps counting AddDocument builds only.
+  std::size_t InsertDocument(Elem doc_id, std::span<const std::string> terms);
+
+  /// Bulk term-document update: removes `doc_id` from the posting list of
+  /// every listed term (the caller supplies the document's terms — the
+  /// index stores no forward mapping).  Unknown terms and absent ids are
+  /// skipped.  Requires FinalizeUpdatable; safe concurrently with queries
+  /// and other updates.  Returns the number of posting lists changed.
+  std::size_t EraseDocument(Elem doc_id, std::span<const std::string> terms);
 
   /// Conjunctive query: documents containing *all* terms, in document-id
   /// order.  Unknown terms yield an empty result.  When `stats` is
@@ -73,12 +105,15 @@ class InvertedIndex {
                                       BatchOptions options = {},
                                       BatchStats* stats = nullptr) const;
 
-  /// Document frequency of a term (0 if unknown).
+  /// Document frequency of a term (0 if unknown).  Delta-aware on an
+  /// updatable index: reflects InsertDocument/EraseDocument immediately.
   std::size_t DocumentFrequency(std::string_view term) const;
 
-  std::size_t num_terms() const { return postings_.size(); }
+  std::size_t num_terms() const;
   std::size_t num_documents() const { return num_documents_; }
   const Engine& engine() const { return engine_; }
+  /// Whether FinalizeUpdatable built the index (updates allowed).
+  bool updatable() const { return updatable_; }
 
   /// Total index footprint in 64-bit words (pre-processed structures).
   std::size_t SizeInWords() const;
@@ -94,13 +129,22 @@ class InvertedIndex {
       TermQueries queries, std::vector<BatchQuery>* resolved) const;
 
   Engine engine_;
+  /// Guards dictionary_ / postings_ / structures_ *membership* against
+  /// InsertDocument's new-term growth: updates take it exclusive, query
+  /// resolution shared.  PreparedSet handles themselves are internally
+  /// synchronized (mutable sets), and a std::deque never invalidates
+  /// references on push_back — so resolved `const PreparedSet*` pointers
+  /// stay valid outside the lock, for as long as the index lives.
+  mutable std::shared_mutex membership_mutex_;
   std::unordered_map<std::string, std::size_t> dictionary_;
   std::vector<ElemList> postings_;
-  std::vector<PreparedSet> structures_;
+  std::deque<PreparedSet> structures_;
+  MutableSetOptions mutable_options_;
   std::size_t num_documents_ = 0;
   Elem last_doc_id_ = 0;
   bool has_docs_ = false;
   bool finalized_ = false;
+  bool updatable_ = false;
 };
 
 }  // namespace fsi
