@@ -1,0 +1,113 @@
+// Cold-start: preparing an engine from raw lists vs mmap-loading a saved
+// snapshot (docs/PERSISTENCE.md).
+//
+// "coldstart/prepare" is what a process restart costs without
+// persistence: pre-process every list into its structure (the planner's
+// startup calibration is disabled so the comparison isolates structure
+// construction — with calibration the gap is larger still).
+// "coldstart/load" is Engine::LoadSnapshot on the same image: validate
+// the header, CRC the sections, alias the flat arrays straight out of
+// the mapping.  CI gates the ratio at >= 10x (bench_summary.py,
+// cold_start_speedup).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::bench;
+
+// Calibration-free planner spec: both sides build/load the same
+// structures, and the prepare side is not billed for the one-off
+// planner measurement.
+constexpr const char kSpec[] = "Planner:calibration=off";
+
+std::size_t NumLists() { return FullScale() ? 64 : 32; }
+std::size_t ListSize() { return FullScale() ? 1 << 20 : 1 << 17; }
+
+const std::vector<ElemList>& Lists() {
+  static const std::vector<ElemList>* lists = [] {
+    Xoshiro256 rng(0xC01D57A27ULL);
+    auto* out = new std::vector<ElemList>;
+    for (std::size_t i = 0; i < NumLists(); ++i) {
+      out->push_back(SampleSortedSet(
+          ListSize(), 8 * static_cast<std::uint64_t>(ListSize()), rng));
+    }
+    return out;
+  }();
+  return *lists;
+}
+
+std::string TmpSnapshotPath() {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/fsi_coldstart.snap";
+}
+
+const std::string& SnapshotPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string(TmpSnapshotPath());
+    Engine engine(kSpec);
+    std::vector<PreparedSet> prepared;
+    for (const ElemList& l : Lists()) prepared.push_back(engine.Prepare(l));
+    engine.SaveSnapshot(*p, std::span<const PreparedSet>(prepared));
+    return p;
+  }();
+  return *path;
+}
+
+void BM_Prepare(benchmark::State& state) {
+  const auto& lists = Lists();
+  std::size_t elements = 0;
+  for (const auto& l : lists) elements += l.size();
+  for (auto _ : state) {
+    Engine engine(kSpec);
+    std::vector<PreparedSet> prepared;
+    prepared.reserve(lists.size());
+    for (const ElemList& l : lists) prepared.push_back(engine.Prepare(l));
+    benchmark::DoNotOptimize(prepared.data());
+  }
+  state.counters["sets"] = static_cast<double>(lists.size());
+  state.counters["elements"] = static_cast<double>(elements);
+}
+
+void BM_Load(benchmark::State& state) {
+  const std::string& path = SnapshotPath();
+  std::size_t mapped = 0;
+  for (auto _ : state) {
+    LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+    mapped = loaded.info.mapped_bytes;
+    benchmark::DoNotOptimize(loaded.sets.data());
+  }
+  state.counters["sets"] = static_cast<double>(Lists().size());
+  state.counters["mapped_MiB"] = static_cast<double>(mapped) / (1 << 20);
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("coldstart/prepare", BM_Prepare)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(FullScale() ? 1 : 4);
+  benchmark::RegisterBenchmark("coldstart/load", BM_Load)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(FullScale() ? 4 : 16);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::remove(SnapshotPath().c_str());
+  return 0;
+}

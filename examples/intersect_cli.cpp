@@ -6,7 +6,9 @@
 // just its size and timing with --stats).
 //
 //   intersect_cli [--algorithm SPEC] [--stats] [--explain] [--threshold T]
-//                 [--force-scalar] FILE...
+//                 [--force-scalar] [--save-index PATH] FILE...
+//   intersect_cli --load-index PATH [--stats] [--explain]
+//   intersect_cli --dump-calibration PATH
 //   intersect_cli --list
 //
 // By default the cost-model planner picks the algorithm per query
@@ -19,6 +21,13 @@
 // reports are self-describing.  --force-scalar disables the vectorized
 // kernels for this run (equivalent to launching with FSI_FORCE_SCALAR=1).
 //
+// Persistence (docs/PERSISTENCE.md): --save-index writes the prepared
+// engine image to PATH after the query; --load-index skips the input
+// files entirely and mmaps a previously saved image (with --stats
+// reporting the load mode and mapped bytes).  --dump-calibration runs the
+// planner's startup measurement once and writes the resulting cost
+// constants as JSON — the file FSI_PLANNER_CALIBRATION can point at.
+//
 // Examples:
 //   ./build/examples/intersect_cli a.txt b.txt
 //   ./build/examples/intersect_cli --explain a.txt b.txt c.txt
@@ -30,6 +39,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -107,7 +118,17 @@ void Usage() {
                "  --threshold T: elements in at least T of the input sets "
                "(forces RanGroupScan)\n"
                "  --force-scalar: disable SIMD kernels for this run "
-               "(= FSI_FORCE_SCALAR=1)\n");
+               "(= FSI_FORCE_SCALAR=1)\n"
+               "  --save-index PATH: after the query, save the prepared "
+               "engine image\n"
+               "        (snapshot file, docs/PERSISTENCE.md)\n"
+               "  --load-index PATH: mmap a saved image instead of reading "
+               "FILEs;\n"
+               "        the query runs over every set in the snapshot\n"
+               "  --dump-calibration PATH: measure the planner cost "
+               "constants and\n"
+               "        write them as JSON (usable via "
+               "FSI_PLANNER_CALIBRATION)\n");
   std::exit(1);
 }
 
@@ -119,6 +140,9 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool explain = false;
   std::size_t threshold = 0;
+  std::string save_index;
+  std::string load_index;
+  std::string dump_calibration;
   std::vector<std::string> files;
   // First pass: --force-scalar must act before anything resolves the
   // kernel dispatch table (it is resolved once per process, on first use).
@@ -142,13 +166,43 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--threshold" && i + 1 < argc) {
       threshold = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--save-index" && i + 1 < argc) {
+      save_index = argv[++i];
+    } else if (arg == "--load-index" && i + 1 < argc) {
+      load_index = argv[++i];
+    } else if (arg == "--dump-calibration" && i + 1 < argc) {
+      dump_calibration = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       Usage();
     } else {
       files.push_back(arg);
     }
   }
-  if (files.size() < 2) Usage();
+  if (!dump_calibration.empty()) {
+    // Measure() (not Process()) so FSI_PLANNER_CALIBRATION in the
+    // environment cannot feed the dump back into itself.
+    std::ofstream out(dump_calibration, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   dump_calibration.c_str());
+      return 2;
+    }
+    out << PlannerCalibration::Measure().ToJson() << "\n";
+    return out ? 0 : 2;
+  }
+  if (threshold > 0 && (!save_index.empty() || !load_index.empty())) {
+    std::fprintf(stderr,
+                 "error: --threshold queries run on raw structures and do "
+                 "not combine with --save-index/--load-index\n");
+    return 1;
+  }
+  if (!load_index.empty() && !files.empty()) {
+    std::fprintf(stderr,
+                 "error: --load-index replaces the input FILEs (the query "
+                 "runs over every set in the snapshot)\n");
+    return 1;
+  }
+  if (load_index.empty() && files.size() < 2) Usage();
   if (explain && threshold > 0) {
     std::fprintf(stderr,
                  "error: --explain does not apply to --threshold queries "
@@ -164,6 +218,8 @@ int main(int argc, char** argv) {
   double preprocess_ms = 0;
   double query_ms = 0;
   std::size_t elements_scanned = 0;
+  std::size_t num_sets = sets.size();
+  std::optional<SnapshotInfo> snapshot_info;
   if (threshold > 0) {
     // t-threshold queries run on the raw RanGroupScan structures.  The
     // raw Preprocess path skips validation in Release, and these files
@@ -188,6 +244,36 @@ int main(int argc, char** argv) {
     Timer q;
     result = thresh.AtLeast(views, threshold);
     query_ms = q.ElapsedMillis();
+  } else if (!load_index.empty()) {
+    // Cold start from a saved image: mmap, reconstruct, query — no file
+    // parsing, no preprocessing, no planner calibration.
+    std::optional<LoadedSnapshot> loaded;
+    Timer pre;
+    try {
+      loaded = Engine::LoadSnapshot(load_index);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    preprocess_ms = pre.ElapsedMillis();
+    snapshot_info = loaded->info;
+    num_sets = loaded->sets.size();
+    if (num_sets < 2) {
+      std::fprintf(stderr, "error: %s: snapshot holds %zu set(s); "
+                   "an intersection needs at least 2\n",
+                   load_index.c_str(), num_sets);
+      return 2;
+    }
+    Query query = loaded->engine.Query(loaded->sets);
+    QueryStats qs = query.ExecuteInto(&result);
+    query_ms = qs.wall_micros / 1000.0;
+    elements_scanned = qs.elements_scanned;
+    if (explain) {
+      std::printf("%s", query.Explain().ToString().c_str());
+      std::printf("predicted: %.1f us  measured: %.1f us  result: %zu "
+                  "elements\n",
+                  qs.predicted_micros, qs.wall_micros, result.size());
+    }
   } else {
     // Validate operator input even in Release: files come from outside.
     std::unique_ptr<Engine> engine;
@@ -207,6 +293,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     preprocess_ms = pre.ElapsedMillis();
+    if (!save_index.empty()) {
+      try {
+        engine->SaveSnapshot(save_index, std::span<const PreparedSet>(prepared));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      std::fprintf(stderr, "saved index: %s (%zu sets)\n", save_index.c_str(),
+                   prepared.size());
+    }
     Query query = engine->Query(prepared);
     QueryStats qs = query.ExecuteInto(&result);
     query_ms = qs.wall_micros / 1000.0;
@@ -221,10 +317,23 @@ int main(int argc, char** argv) {
 
   if (stats) {
     PrintKernelVariant(stderr);
+    if (snapshot_info) {
+      std::fprintf(stderr,
+                   "snapshot: %s  load: %s  mapped: %zu bytes  spec: %s  "
+                   "sets: %zu (%zu zero-copy, %zu rebuilt, %zu mutable)  "
+                   "calibration: %s\n",
+                   load_index.c_str(), snapshot_info->load_mode.c_str(),
+                   snapshot_info->mapped_bytes, snapshot_info->spec.c_str(),
+                   snapshot_info->sets_total, snapshot_info->sets_zero_copy,
+                   snapshot_info->sets_rebuilt, snapshot_info->sets_mutable,
+                   snapshot_info->calibration_source.empty()
+                       ? "-"
+                       : snapshot_info->calibration_source.c_str());
+    }
     std::fprintf(stderr,
                  "sets: %zu  result: %zu elements  scanned: %zu elements  "
                  "preprocess: %.3f ms  query: %.3f ms  total: %.3f ms\n",
-                 sets.size(), result.size(), elements_scanned, preprocess_ms,
+                 num_sets, result.size(), elements_scanned, preprocess_ms,
                  query_ms, total.ElapsedMillis());
   } else if (!explain) {
     for (Elem x : result) std::printf("%u\n", x);

@@ -12,20 +12,27 @@
 //
 //   ./build/examples/search_server
 //   ./build/examples/search_server 200000   # more queries
+//   ./build/examples/search_server 20000 /tmp/index.fsisnap
+//     # second run cold-starts from the snapshot (docs/PERSISTENCE.md):
+//     # the index build is skipped and postings are mmap'd zero-copy
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fsi.h"
 #include "index/inverted_index.h"
+#include "util/timer.h"
 #include "workload/corpus.h"
 
 int main(int argc, char** argv) {
   using namespace fsi;
 
-  std::printf("building corpus + index (Hybrid engine)...\n");
+  const std::string snapshot_path = argc > 2 ? argv[2] : "";
+
   SyntheticCorpus::Options co;
   co.num_docs = 1 << 17;
   co.vocabulary = 4000;
@@ -35,18 +42,39 @@ int main(int argc, char** argv) {
   qo.num_queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
   QueryWorkload workload(corpus, qo);
 
-  // Invert the postings into per-document term lists and feed the index.
-  InvertedIndex index{Engine("Hybrid")};
-  std::vector<std::vector<std::string>> docs(corpus.num_docs());
-  for (std::size_t t = 0; t < corpus.num_terms(); ++t) {
-    for (Elem d : corpus.postings(t)) {
-      docs[d].push_back("t" + std::to_string(t));
+  std::unique_ptr<InvertedIndex> index;
+  if (!snapshot_path.empty() && std::ifstream(snapshot_path).good()) {
+    // Cold start: the whole build below is replaced by one mmap.
+    Timer load;
+    SnapshotInfo info;
+    // new from the prvalue (not make_unique): InvertedIndex is immovable,
+    // so the Open() result must construct the heap object directly.
+    index.reset(new InvertedIndex(InvertedIndex::Open(snapshot_path, {}, &info)));
+    std::printf(
+        "cold start from %s: %.1f ms (%s, %zu bytes mapped, "
+        "%zu/%zu sets zero-copy)\n",
+        snapshot_path.c_str(), load.ElapsedMillis(), info.load_mode.c_str(),
+        info.mapped_bytes, info.sets_zero_copy, info.sets_total);
+  } else {
+    std::printf("building corpus + index (Hybrid engine)...\n");
+    // Invert the postings into per-document term lists and feed the index.
+    index = std::make_unique<InvertedIndex>(Engine("Hybrid"));
+    std::vector<std::vector<std::string>> docs(corpus.num_docs());
+    for (std::size_t t = 0; t < corpus.num_terms(); ++t) {
+      for (Elem d : corpus.postings(t)) {
+        docs[d].push_back("t" + std::to_string(t));
+      }
+    }
+    for (Elem d = 0; d < corpus.num_docs(); ++d) {
+      if (!docs[d].empty()) index->AddDocument(d, docs[d]);
+    }
+    index->Finalize();
+    if (!snapshot_path.empty()) {
+      index->Save(snapshot_path);
+      std::printf("saved snapshot: %s (next run cold-starts from it)\n",
+                  snapshot_path.c_str());
     }
   }
-  for (Elem d = 0; d < corpus.num_docs(); ++d) {
-    if (!docs[d].empty()) index.AddDocument(d, docs[d]);
-  }
-  index.Finalize();
 
   // The query log, as term strings — what a front-end would hand us.
   std::vector<std::vector<std::string>> log;
@@ -60,7 +88,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "servicing %zu conjunctive queries over %zu documents\n\n",
-      log.size(), index.num_documents());
+      log.size(), index->num_documents());
   std::printf("%8s %10s %12s %10s %10s %10s %9s\n", "threads", "wall_ms",
               "queries/s", "p50_us", "p95_us", "max_us", "speedup");
 
@@ -72,7 +100,7 @@ int main(int argc, char** argv) {
   for (std::size_t threads : thread_counts) {
     BatchStats stats;
     std::vector<std::size_t> counts =
-        index.BatchCount(log, {.num_threads = threads}, &stats);
+        index->BatchCount(log, {.num_threads = threads}, &stats);
     if (threads == 1) base_qps = stats.queries_per_second;
     std::size_t total = 0;
     for (std::size_t c : counts) total += c;

@@ -13,7 +13,10 @@ a ``planner_vs_best_static`` section condensing the fig_planner report
 plus the cost-model prediction accuracy — the numbers CI gates on), a
 ``mutation_overhead`` section condensing the fig_mutation export (query
 latency at each delta-fill level over the empty-delta baseline, the
-post-compaction ratio, compaction cost and insert throughput), and —
+post-compaction ratio, compaction cost and insert throughput), a
+``cold_start_speedup`` section condensing the fig_coldstart export
+(prepare-from-scratch over mmap-load time — the snapshot persistence
+gate, docs/PERSISTENCE.md), and —
 when the directory has a ``scalar/`` subdirectory holding a second run
 made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
 per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
@@ -212,6 +215,36 @@ def mutation_overhead(benchmarks):
     return section
 
 
+def cold_start_speedup(benchmarks):
+    """prepare_ms / load_ms from the fig_coldstart export (or None).
+
+    ``coldstart/prepare`` rebuilds every structure from raw lists;
+    ``coldstart/load`` is Engine::LoadSnapshot mmap'ing the saved image.
+    The ratio is the whole point of the persistence layer — CI gates it
+    at >= 10x (docs/PERSISTENCE.md).
+    """
+    def find(prefix):
+        for b in benchmarks:
+            name = b.get("name", "")
+            if ((name == prefix or name.startswith(prefix + "/"))
+                    and b.get("real_time")):
+                return b
+        return None
+
+    prepare = find("coldstart/prepare")
+    load = find("coldstart/load")
+    if not prepare or not load:
+        return None
+    section = {
+        "prepare_ms": round(prepare["real_time"], 2),
+        "load_ms": round(load["real_time"], 2),
+        "speedup": round(prepare["real_time"] / load["real_time"], 2),
+    }
+    counters = {k: load[k] for k in ("mapped_MiB", "sets") if k in load}
+    section.update(counters)
+    return section
+
+
 def fig13_scaling(benchmarks):
     """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
     qps = {}  # algorithm -> {threads: items_per_second}
@@ -271,6 +304,10 @@ def main():
     mutation = mutation_overhead(all_benchmarks)
     if mutation:
         summary["mutation_overhead"] = mutation
+
+    coldstart = cold_start_speedup(all_benchmarks)
+    if coldstart:
+        summary["cold_start_speedup"] = coldstart
 
     planner = load_planner_text(directory)
     if planner:

@@ -22,5 +22,25 @@ cmake -B "$BUILD_DIR" -S . \
   -DFSI_WERROR="${FSI_WERROR:-OFF}" \
   -DFSI_SANITIZE="${FSI_SANITIZE:-OFF}"
 cmake --build "$BUILD_DIR" -j
+
+# Planner calibration cache: the cost-model planner re-measures its
+# machine constants (~100 ms) in every process that builds a default
+# engine, which across a whole ctest run adds real minutes.  Measure once
+# into a build artifact and point every test process at it
+# (FSI_PLANNER_CALIBRATION, docs/PLANNER.md).  CI caches the file across
+# runs of the same job flavor.  Opt out (e.g. to test the measurement
+# path itself) with FSI_CALIBRATION_CACHE=off.
+# Absolute path: ctest below runs from inside $BUILD_DIR, and the
+# variable may outlive this script's working directory entirely.
+CALIBRATION_FILE="$(cd "$BUILD_DIR" && pwd)/planner_calibration.json"
+if [ "${FSI_CALIBRATION_CACHE:-on}" != "off" ] \
+   && [ -x "$BUILD_DIR/examples/intersect_cli" ]; then
+  if [ ! -s "$CALIBRATION_FILE" ]; then
+    "$BUILD_DIR/examples/intersect_cli" --dump-calibration "$CALIBRATION_FILE"
+  fi
+  export FSI_PLANNER_CALIBRATION="$CALIBRATION_FILE"
+  echo "planner calibration: $CALIBRATION_FILE"
+fi
+
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"

@@ -289,17 +289,21 @@ QueryStats Query::Execute() {
 
 Engine::Engine(std::string_view spec, EngineOptions options)
     : algorithm_(AlgorithmRegistry::Global().Create(spec, options.seed)),
-      validate_(ValidationEnabled(options.validation)) {
+      validate_(ValidationEnabled(options.validation)),
+      spec_(spec),
+      seed_(options.seed) {
   ResolveCostInfo();
 }
 
 Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
                EngineOptions options)
     : algorithm_(std::move(algorithm)),
-      validate_(ValidationEnabled(options.validation)) {
+      validate_(ValidationEnabled(options.validation)),
+      seed_(options.seed) {
   if (algorithm_ == nullptr) {
     throw std::invalid_argument("Engine: null algorithm");
   }
+  spec_ = std::string(algorithm_->name());
   ResolveCostInfo();
 }
 

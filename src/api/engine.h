@@ -55,6 +55,12 @@ namespace fsi {
 class PlannerAlgorithm;  // the cost-model planner (api/planner.h)
 class MutableSetCore;    // the mutable-set runtime (api/epoch.h)
 
+namespace storage {
+class SnapshotWriter;  // snapshot container (storage/snapshot.h)
+class SnapshotReader;
+class MappedFile;      // zero-copy backing (storage/mapped_file.h)
+}  // namespace storage
+
 /// Construction options for Engine::PrepareMutable — the compaction
 /// policy of one mutable set.  Compaction merges the delta tier (insert
 /// buffer + erase tombstones, core/delta_set.h) back into the base
@@ -324,6 +330,52 @@ struct EngineOptions {
   ValidationPolicy validation = ValidationPolicy::kDefault;
 };
 
+/// Options for Engine::LoadSnapshot.
+struct SnapshotLoadOptions {
+  ValidationPolicy validation = ValidationPolicy::kDefault;
+  /// Verify the per-section CRC64s (one linear pass over the file).  The
+  /// header checksum is always verified.
+  bool verify_checksums = true;
+  /// Compaction policy applied to sets loaded as mutable (the snapshot
+  /// stores elements, not policy; InvertedIndex::Open threads its saved
+  /// policy through here).
+  MutableSetOptions mutable_options = {};
+};
+
+/// What Engine::LoadSnapshot did — load mode, byte counts, and how each
+/// set came back (reported by intersect_cli --stats).
+struct SnapshotInfo {
+  std::uint32_t version_major = 0;
+  std::uint32_t version_minor = 0;
+  /// Registry spec the snapshot was saved with (and the loaded engine
+  /// reconstructed from).
+  std::string spec;
+  std::uint64_t seed = 0;
+  /// "mmap" (pages lazily, zero-copy) or "read" (heap fallback).
+  std::string load_mode;
+  /// Size of the mapping (the whole snapshot file).
+  std::size_t mapped_bytes = 0;
+  /// Base address of the mapping — lets callers (and tests) verify that
+  /// loaded structure spans alias it.
+  const void* map_base = nullptr;
+  std::size_t sets_total = 0;
+  /// Sets whose structure spans alias the mapping directly (no per-element
+  /// copy or parse).
+  std::size_t sets_zero_copy = 0;
+  /// Sets stored as raw elements (no flat structure layout registered for
+  /// their representation) and re-preprocessed on load.
+  std::size_t sets_rebuilt = 0;
+  /// Mutable sets, loaded as frozen base + empty delta.
+  std::size_t sets_mutable = 0;
+  /// calibration_source() of the loaded planner ("" for non-planner
+  /// engines or snapshots without a calibration section).
+  std::string calibration_source;
+};
+
+/// The result of Engine::LoadSnapshot: the reconstructed engine, its
+/// prepared sets (same order as at save), and the load report.
+struct LoadedSnapshot;
+
 /// A thread-safe intersection engine: one algorithm instance (built from a
 /// registry spec or adopted), input validation policy, prepared-set
 /// construction and query building.  Copyable — copies share the same
@@ -378,6 +430,50 @@ class Engine {
   /// Convenience one-shot: prepare and intersect plain lists.
   ElemList IntersectLists(std::span<const ElemList> lists) const;
 
+  // Snapshot persistence (docs/PERSISTENCE.md).  SaveSnapshot serializes
+  // this engine plus the given prepared sets into one versioned file;
+  // LoadSnapshot mmaps such a file and reconstructs the engine and sets,
+  // aliasing flat structures directly into the mapping (zero per-element
+  // copies).  Planner engines stamp their calibrated cost constants into
+  // the file, so loading skips the ~100 ms startup measurement.
+
+  /// Saves this engine and `sets` (handles built by this engine; same
+  /// checks as Query) to `path`.  Mutable sets are saved as their current
+  /// effective element set and load back as frozen base + empty delta.
+  /// Throws std::invalid_argument on foreign/empty handles and
+  /// storage::SnapshotError(kIo) on filesystem failure.
+  void SaveSnapshot(const std::string& path,
+                    std::span<const PreparedSet> sets) const;
+  void SaveSnapshot(const std::string& path,
+                    std::span<const PreparedSet* const> sets) const;
+
+  /// Appends this engine's sections (engine meta, planner calibration,
+  /// set table, payload) to an open writer — the composition point for
+  /// containers embedding an engine image (InvertedIndex::Save).
+  void WriteSnapshotSections(storage::SnapshotWriter& writer,
+                             std::span<const PreparedSet* const> sets) const;
+
+  /// Maps `path` and reconstructs the engine and its prepared sets.
+  /// Throws storage::SnapshotError (typed: kIo / kBadMagic / kBadVersion /
+  /// kForeignEndian / kAbiMismatch / kTruncated / kChecksum / kCorrupt) on
+  /// anything malformed — a corrupt file never reaches undefined behavior.
+  static LoadedSnapshot LoadSnapshot(const std::string& path,
+                                     SnapshotLoadOptions options = {});
+
+  /// The section-level load, given an already-validated reader.  `backing`
+  /// keeps the mapped bytes alive and is retained by every zero-copy set;
+  /// when null, the caller must keep the reader's bytes alive for the
+  /// lifetime of the returned sets.
+  static LoadedSnapshot LoadSnapshotSections(
+      const storage::SnapshotReader& reader,
+      std::shared_ptr<const storage::MappedFile> backing,
+      SnapshotLoadOptions options = {});
+
+  /// The registry spec this engine was built from (an adopted algorithm
+  /// reports its name).
+  const std::string& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
   std::string_view algorithm_name() const { return algorithm_->name(); }
   const IntersectionAlgorithm& algorithm() const { return *algorithm_; }
   /// Maximum query arity of the underlying algorithm.
@@ -393,11 +489,22 @@ class Engine {
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   bool validate_;
+  /// The spec/seed the engine was built from — stamped into snapshots so
+  /// LoadSnapshot can reconstruct an identical engine.
+  std::string spec_;
+  std::uint64_t seed_ = kDefaultAlgorithmSeed;
   /// Non-null when algorithm_ is the planner (aliases algorithm_, which
   /// copies share, so the view stays valid across Engine copies).
   const PlannerAlgorithm* planner_view_ = nullptr;
   /// The algorithm's registry cost hook (null when none is published).
   StepCostFn cost_hook_ = nullptr;
+};
+
+struct LoadedSnapshot {
+  Engine engine;
+  /// Same order as passed to SaveSnapshot.
+  std::vector<PreparedSet> sets;
+  SnapshotInfo info;
 };
 
 }  // namespace fsi

@@ -153,6 +153,23 @@ class PlannedSet : public PreprocessedSet {
     return static_cast<const PlainSet*>(plain_.get())->elems();
   }
 
+  /// Appends both component structures to `payload` (kind kPlanned: the
+  /// PlainSet's elems ref plus the ScanSet's three refs and t/m).
+  void WriteFlat(storage::PayloadWriter& payload,
+                 storage::SetRecord& record) const {
+    static_cast<const PlainSet*>(plain_.get())->WriteFlat(payload, record);
+    static_cast<const ScanSet*>(scan_.get())->WriteFlat(payload, record);
+    record.kind = static_cast<std::uint32_t>(storage::SetKind::kPlanned);
+  }
+
+  /// Reconstructs a PlannedSet whose spans alias `payload` (zero-copy;
+  /// the backing bytes must outlive it).
+  static std::unique_ptr<PlannedSet> ViewFlat(
+      std::span<const std::byte> payload, const storage::SetRecord& record) {
+    return std::make_unique<PlannedSet>(PlainSet::ViewFlat(payload, record),
+                                        ScanSet::ViewFlat(payload, record));
+  }
+
  private:
   std::unique_ptr<PreprocessedSet> plain_;
   std::unique_ptr<PreprocessedSet> scan_;
@@ -204,8 +221,19 @@ class PlannerAlgorithm : public IntersectionAlgorithm {
 
   /// The machine constants this instance plans with.
   const CostConstants& constants() const { return constants_; }
-  /// Where the constants came from ("default", "measured" or "json").
+  /// Where the constants came from ("default", "measured", "json",
+  /// "explicit" or "snapshot").
   std::string_view calibration_source() const { return calibration_source_; }
+
+  /// Replaces the machine constants after construction — the snapshot
+  /// load path, which constructs with calibration=off (skipping the
+  /// ~100 ms startup measurement) and then installs the constants stamped
+  /// into the snapshot.  Not thread-safe: call before the instance is
+  /// shared.
+  void OverrideConstants(const CostConstants& constants, std::string source) {
+    constants_ = constants;
+    calibration_source_ = std::move(source);
+  }
 
  private:
   CostConstants constants_;

@@ -8,19 +8,25 @@
 #ifndef FSI_BASELINE_PLAIN_SET_H_
 #define FSI_BASELINE_PLAIN_SET_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/algorithm.h"
+#include "storage/layout.h"
 
 namespace fsi {
 
 /// A sorted element array; the baseline "structure" and the space yardstick
 /// (the paper reports every structure's size relative to this one).
+///
+/// Storage is a storage::FlatArray so the same type serves freshly
+/// prepared sets (owning) and snapshot-loaded ones (borrowing a span of
+/// the mmap'ed file — see docs/PERSISTENCE.md).
 class PlainSet : public PreprocessedSet {
  public:
   explicit PlainSet(std::span<const Elem> set)
-      : elems_(set.begin(), set.end()) {}
+      : elems_(std::vector<Elem>(set.begin(), set.end())) {}
 
   std::size_t size() const override { return elems_.size(); }
 
@@ -28,10 +34,29 @@ class PlainSet : public PreprocessedSet {
     return (elems_.size() * sizeof(Elem) + 7) / 8;
   }
 
-  std::span<const Elem> elems() const { return elems_; }
+  std::span<const Elem> elems() const { return elems_.view(); }
+
+  /// Appends the element array to `payload` and fills the elems ref (and
+  /// kind, unless the caller is composing a larger record).
+  void WriteFlat(storage::PayloadWriter& payload,
+                 storage::SetRecord& record) const {
+    record.kind = static_cast<std::uint32_t>(storage::SetKind::kPlain);
+    record.elems = payload.Append(elems_.view());
+  }
+
+  /// Reconstructs a PlainSet whose span aliases `payload` (zero-copy).
+  /// The backing bytes must outlive the returned set.
+  static std::unique_ptr<PlainSet> ViewFlat(
+      std::span<const std::byte> payload, const storage::SetRecord& record) {
+    return std::unique_ptr<PlainSet>(new PlainSet(storage::FlatArray<Elem>::View(
+        storage::ResolveSpan<Elem>(payload, record.elems, "PlainSet.elems"))));
+  }
 
  private:
-  std::vector<Elem> elems_;
+  explicit PlainSet(storage::FlatArray<Elem> elems)
+      : elems_(std::move(elems)) {}
+
+  storage::FlatArray<Elem> elems_;
 };
 
 /// Sorts a k-way query by set size ascending (the adaptive baselines and the

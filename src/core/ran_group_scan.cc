@@ -23,28 +23,100 @@ ScanSet::ScanSet(std::span<const Elem> set, const FeistelPermutation& g,
         "RanGroupScan: element outside the permutation domain");
   }
   std::size_t n = set.size();
-  gvals_.resize(n);
+  std::vector<std::uint32_t> gvals(n);
   for (std::size_t i = 0; i < n; ++i) {
-    gvals_[i] = static_cast<std::uint32_t>(g.Apply(set[i]));
+    gvals[i] = static_cast<std::uint32_t>(g.Apply(set[i]));
   }
-  std::sort(gvals_.begin(), gvals_.end());
+  std::sort(gvals.begin(), gvals.end());
 
   std::uint64_t groups = std::uint64_t{1} << t_;
   int shift = g.domain_bits() - t_;
-  group_start_.assign(groups + 1, 0);
-  for (std::uint32_t gv : gvals_) {
-    ++group_start_[(static_cast<std::uint64_t>(gv) >> shift) + 1];
+  std::vector<std::uint32_t> group_start(groups + 1, 0);
+  for (std::uint32_t gv : gvals) {
+    ++group_start[(static_cast<std::uint64_t>(gv) >> shift) + 1];
   }
   for (std::size_t z = 1; z <= groups; ++z) {
-    group_start_[z] += group_start_[z - 1];
+    group_start[z] += group_start[z - 1];
   }
-  images_.assign(groups * static_cast<std::uint64_t>(m_), 0);
+  std::vector<Word> images(groups * static_cast<std::uint64_t>(m_), 0);
   for (std::uint64_t z = 0; z < groups; ++z) {
-    Word* img = &images_[z * static_cast<std::uint64_t>(m_)];
-    for (std::uint32_t i = group_start_[z]; i < group_start_[z + 1]; ++i) {
-      hashes.AccumulateImages(gvals_[i], img);
+    Word* img = &images[z * static_cast<std::uint64_t>(m_)];
+    for (std::uint32_t i = group_start[z]; i < group_start[z + 1]; ++i) {
+      hashes.AccumulateImages(gvals[i], img);
     }
   }
+  group_start_ = storage::FlatArray<std::uint32_t>(std::move(group_start));
+  images_ = storage::FlatArray<Word>(std::move(images));
+  gvals_ = storage::FlatArray<std::uint32_t>(std::move(gvals));
+}
+
+ScanSet::ScanSet(int t, int m, storage::FlatArray<std::uint32_t> group_start,
+                 storage::FlatArray<Word> images,
+                 storage::FlatArray<std::uint32_t> gvals)
+    : t_(t),
+      m_(m),
+      group_start_(std::move(group_start)),
+      images_(std::move(images)),
+      gvals_(std::move(gvals)) {
+  Validate();
+}
+
+void ScanSet::Validate() const {
+  using storage::SnapshotError;
+  using storage::SnapshotErrorCode;
+  if (t_ < 0 || t_ > 32 || m_ < 1 || m_ > 64) {
+    throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                        "ScanSet: implausible header (t=" +
+                            std::to_string(t_) + ", m=" +
+                            std::to_string(m_) + ")");
+  }
+  const std::uint64_t groups = std::uint64_t{1} << t_;
+  if (group_start_.size() != groups + 1 ||
+      images_.size() != groups * static_cast<std::uint64_t>(m_)) {
+    throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                        "ScanSet: array sizes inconsistent with t/m");
+  }
+  if (group_start_.front() != 0 || group_start_.back() != gvals_.size()) {
+    throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                        "ScanSet: corrupt group offsets");
+  }
+  for (std::size_t z = 1; z < group_start_.size(); ++z) {
+    if (group_start_[z] < group_start_[z - 1]) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "ScanSet: corrupt group offsets");
+    }
+  }
+}
+
+void ScanSet::WriteFlat(storage::PayloadWriter& payload,
+                        storage::SetRecord& record) const {
+  record.kind = static_cast<std::uint32_t>(storage::SetKind::kScan);
+  record.t = t_;
+  record.m = static_cast<std::uint32_t>(m_);
+  record.group_start = payload.Append(group_start_.view());
+  record.images = payload.Append(images_.view());
+  record.gvals = payload.Append(gvals_.view());
+}
+
+std::unique_ptr<ScanSet> ScanSet::ViewFlat(std::span<const std::byte> payload,
+                                           const storage::SetRecord& record) {
+  return std::unique_ptr<ScanSet>(new ScanSet(
+      record.t, static_cast<int>(record.m),
+      storage::FlatArray<std::uint32_t>::View(storage::ResolveSpan<std::uint32_t>(
+          payload, record.group_start, "ScanSet.group_start")),
+      storage::FlatArray<Word>::View(
+          storage::ResolveSpan<Word>(payload, record.images, "ScanSet.images")),
+      storage::FlatArray<std::uint32_t>::View(storage::ResolveSpan<std::uint32_t>(
+          payload, record.gvals, "ScanSet.gvals"))));
+}
+
+std::unique_ptr<ScanSet> ScanSet::FromParts(
+    int t, int m, std::vector<std::uint32_t> group_start,
+    std::vector<Word> images, std::vector<std::uint32_t> gvals) {
+  return std::unique_ptr<ScanSet>(
+      new ScanSet(t, m, storage::FlatArray<std::uint32_t>(std::move(group_start)),
+                  storage::FlatArray<Word>(std::move(images)),
+                  storage::FlatArray<std::uint32_t>(std::move(gvals))));
 }
 
 std::size_t ScanSet::SizeInWords() const {

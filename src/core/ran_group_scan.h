@@ -36,6 +36,7 @@
 #include "hash/feistel.h"
 #include "hash/universal_hash.h"
 #include "simd/intersect_kernels.h"
+#include "storage/layout.h"
 #include "util/bits.h"
 
 namespace fsi {
@@ -67,17 +68,46 @@ class ScanSet : public PreprocessedSet {
   }
 
   /// Ascending g-values of all elements.
-  std::span<const std::uint32_t> gvals() const { return gvals_; }
+  std::span<const std::uint32_t> gvals() const { return gvals_.view(); }
+
+  /// The two other arrays, for serialization and inspection.
+  std::span<const std::uint32_t> group_starts() const {
+    return group_start_.view();
+  }
+  std::span<const Word> images() const { return images_.view(); }
+
+  /// Appends the three arrays to `payload` and fills the record's refs,
+  /// kind (kScan), t and m.
+  void WriteFlat(storage::PayloadWriter& payload,
+                 storage::SetRecord& record) const;
+
+  /// Reconstructs a ScanSet whose spans alias `payload` (zero-copy; the
+  /// backing bytes must outlive it).  Validates shape invariants (t/m
+  /// domain, array sizes, monotone offsets) and throws
+  /// storage::SnapshotError(kCorrupt) on violation.
+  static std::unique_ptr<ScanSet> ViewFlat(std::span<const std::byte> payload,
+                                           const storage::SetRecord& record);
+
+  /// Builds an owning ScanSet from already-materialized arrays (the legacy
+  /// StructureSerializer load path).  Same validation as ViewFlat.
+  static std::unique_ptr<ScanSet> FromParts(
+      int t, int m, std::vector<std::uint32_t> group_start,
+      std::vector<Word> images, std::vector<std::uint32_t> gvals);
 
  private:
-  friend class StructureSerializer;  // binary save/load (core/serialization.h)
-  ScanSet() : t_(0), m_(0) {}
+  ScanSet(int t, int m, storage::FlatArray<std::uint32_t> group_start,
+          storage::FlatArray<Word> images,
+          storage::FlatArray<std::uint32_t> gvals);
+
+  /// Throws storage::SnapshotError(kCorrupt) unless the arrays form a
+  /// plausible structure (cheap shape checks, not a content audit).
+  void Validate() const;
 
   int t_;
   int m_;
-  std::vector<std::uint32_t> group_start_;  // 2^t + 1
-  std::vector<Word> images_;                // 2^t * m, group-major
-  std::vector<std::uint32_t> gvals_;        // ascending
+  storage::FlatArray<std::uint32_t> group_start_;  // 2^t + 1
+  storage::FlatArray<Word> images_;                // 2^t * m, group-major
+  storage::FlatArray<std::uint32_t> gvals_;        // ascending
 };
 
 class RanGroupScanIntersection : public IntersectionAlgorithm {

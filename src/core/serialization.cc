@@ -1,131 +1,86 @@
 #include "core/serialization.h"
 
-#include <cstdint>
+#include <cstddef>
+#include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "storage/layout.h"
+#include "storage/snapshot.h"
 
 namespace fsi {
-namespace {
-
-constexpr std::uint64_t kMagic = 0x4653495343414E31ULL;  // "FSISCAN1"
-constexpr std::uint32_t kVersion = 1;
-
-/// Incremental FNV-1a over raw bytes.
-class Fnv1a {
- public:
-  void Update(const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
-  std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
-};
-
-void WriteRaw(std::ostream& out, const void* data, std::size_t bytes,
-              Fnv1a* crc) {
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-  if (!out) throw std::runtime_error("StructureSerializer: write failed");
-  if (crc != nullptr) crc->Update(data, bytes);
-}
-
-void ReadRaw(std::istream& in, void* data, std::size_t bytes, Fnv1a* crc) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (!in) throw std::runtime_error("StructureSerializer: truncated file");
-  if (crc != nullptr) crc->Update(data, bytes);
-}
-
-template <typename T>
-void WriteScalar(std::ostream& out, T value, Fnv1a* crc) {
-  WriteRaw(out, &value, sizeof(T), crc);
-}
-
-template <typename T>
-T ReadScalar(std::istream& in, Fnv1a* crc) {
-  T value;
-  ReadRaw(in, &value, sizeof(T), crc);
-  return value;
-}
-
-template <typename T>
-void WriteVector(std::ostream& out, const std::vector<T>& v, Fnv1a* crc) {
-  if (!v.empty()) WriteRaw(out, v.data(), v.size() * sizeof(T), crc);
-}
-
-template <typename T>
-void ReadVector(std::istream& in, std::vector<T>* v, std::size_t count,
-                Fnv1a* crc) {
-  v->resize(count);
-  if (count > 0) ReadRaw(in, v->data(), count * sizeof(T), crc);
-}
-
-}  // namespace
 
 void StructureSerializer::Save(const std::vector<const ScanSet*>& sets,
                                std::ostream& out) {
-  WriteScalar<std::uint64_t>(out, kMagic, nullptr);
-  WriteScalar<std::uint32_t>(out, kVersion, nullptr);
-  WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(sets.size()),
-                             nullptr);
+  storage::PayloadWriter payload;
+  std::vector<storage::SetRecord> records;
+  records.reserve(sets.size());
   for (const ScanSet* set : sets) {
-    Fnv1a crc;
-    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(set->t_), &crc);
-    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(set->m_), &crc);
-    WriteScalar<std::uint64_t>(out, set->gvals_.size(), &crc);
-    WriteVector(out, set->group_start_, &crc);
-    WriteVector(out, set->images_, &crc);
-    WriteVector(out, set->gvals_, &crc);
-    WriteScalar<std::uint64_t>(out, crc.value(), nullptr);
+    storage::SetRecord record;
+    set->WriteFlat(payload, record);
+    records.push_back(record);
   }
-  out.flush();
-  if (!out) throw std::runtime_error("StructureSerializer: flush failed");
+  storage::SnapshotWriter writer(out);
+  writer.AddSection(
+      storage::kSectionSetTable,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(records.data()),
+          records.size() * sizeof(storage::SetRecord)),
+      storage::kSectionFlagCritical);
+  writer.AddSection(storage::kSectionPayload, payload.bytes(),
+                    storage::kSectionFlagCritical);
+  writer.Finish();
 }
 
 std::vector<std::unique_ptr<ScanSet>> StructureSerializer::Load(
     std::istream& in, int expected_m) {
-  if (ReadScalar<std::uint64_t>(in, nullptr) != kMagic) {
-    throw std::runtime_error("StructureSerializer: bad magic");
+  // The legacy interface is stream-based, so the bytes are slurped rather
+  // than mapped; Engine::LoadSnapshot is the zero-copy path.
+  std::vector<char> buffer((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  storage::SnapshotReader reader(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(buffer.data()), buffer.size()));
+  const auto table =
+      reader.RequireSection(storage::kSectionSetTable, "set table");
+  const auto payload =
+      reader.RequireSection(storage::kSectionPayload, "payload");
+  if (table.size() % sizeof(storage::SetRecord) != 0) {
+    throw storage::SnapshotError(storage::SnapshotErrorCode::kCorrupt,
+                                 "StructureSerializer: corrupt set table");
   }
-  if (ReadScalar<std::uint32_t>(in, nullptr) != kVersion) {
-    throw std::runtime_error("StructureSerializer: unsupported version");
-  }
-  auto count = ReadScalar<std::uint32_t>(in, nullptr);
+  const std::size_t count = table.size() / sizeof(storage::SetRecord);
   std::vector<std::unique_ptr<ScanSet>> sets;
   sets.reserve(count);
-  for (std::uint32_t s = 0; s < count; ++s) {
-    Fnv1a crc;
-    auto t = static_cast<int>(ReadScalar<std::uint32_t>(in, &crc));
-    auto m = static_cast<int>(ReadScalar<std::uint32_t>(in, &crc));
-    auto n = ReadScalar<std::uint64_t>(in, &crc);
-    if (t < 0 || t > 32 || m < 1 || m > 64) {
-      throw std::runtime_error("StructureSerializer: implausible header");
+  for (std::size_t i = 0; i < count; ++i) {
+    storage::SetRecord record;
+    std::memcpy(&record, table.data() + i * sizeof(record), sizeof(record));
+    if (record.kind != static_cast<std::uint32_t>(storage::SetKind::kScan)) {
+      throw storage::SnapshotError(
+          storage::SnapshotErrorCode::kCorrupt,
+          "StructureSerializer: not a RanGroupScan structure file");
     }
-    if (m != expected_m) {
+    if (static_cast<int>(record.m) != expected_m) {
       throw std::runtime_error(
           "StructureSerializer: structure built with a different m");
     }
-    auto set = std::unique_ptr<ScanSet>(new ScanSet());
-    set->t_ = t;
-    set->m_ = m;
-    std::size_t groups = std::size_t{1} << t;
-    ReadVector(in, &set->group_start_, groups + 1, &crc);
-    ReadVector(in, &set->images_, groups * static_cast<std::size_t>(m), &crc);
-    ReadVector(in, &set->gvals_, n, &crc);
-    auto stored_crc = ReadScalar<std::uint64_t>(in, nullptr);
-    if (stored_crc != crc.value()) {
-      throw std::runtime_error("StructureSerializer: checksum mismatch");
-    }
-    // Structural sanity: offsets monotone and consistent with n.
-    if (set->group_start_.front() != 0 || set->group_start_.back() != n) {
-      throw std::runtime_error("StructureSerializer: corrupt group offsets");
-    }
-    sets.push_back(std::move(set));
+    // Deep-copy out of the transient buffer: the legacy contract is an
+    // owning structure with no backing-file lifetime to manage.
+    const auto group_start = storage::ResolveSpan<std::uint32_t>(
+        payload, record.group_start, "ScanSet.group_start");
+    const auto images =
+        storage::ResolveSpan<Word>(payload, record.images, "ScanSet.images");
+    const auto gvals = storage::ResolveSpan<std::uint32_t>(
+        payload, record.gvals, "ScanSet.gvals");
+    sets.push_back(ScanSet::FromParts(
+        record.t, static_cast<int>(record.m),
+        std::vector<std::uint32_t>(group_start.begin(), group_start.end()),
+        std::vector<Word>(images.begin(), images.end()),
+        std::vector<std::uint32_t>(gvals.begin(), gvals.end())));
   }
   return sets;
 }

@@ -1,25 +1,21 @@
-// Binary serialization of pre-processed structures.
+// Legacy binary serialization of RanGroupScan structures — DEPRECATED.
 //
-// The paper's deployment story is an in-memory search index: posting lists
-// are pre-processed once (offline, at index build time) and queried many
-// times.  For that to work across process restarts the structures must be
-// persistable — this module provides a versioned little-endian binary
-// format for the RanGroupScan structure (the recommended default) and a
-// whole-index container.
+// This module predates the storage subsystem and survives only as a
+// compatibility shim: Save/Load now delegate to the versioned snapshot
+// container (storage/snapshot.h), so the bytes it produces are a regular
+// snapshot file (set table + payload sections, CRC64-guarded) rather
+// than the old ad-hoc "FSISCAN1" stream, and the old stream-parsing
+// duplication is gone.  New code should use Engine::SaveSnapshot /
+// Engine::LoadSnapshot (api/engine.h), which persist whole engines —
+// every representation, planner calibration included — and load
+// zero-copy via mmap.  See docs/PERSISTENCE.md.
 //
-// Format (all integers little-endian):
-//   file   := magic:u64 version:u32 count:u32 (set)*
-//   set    := t:u32 m:u32 n:u64
-//             group_start: (2^t + 1) * u32
-//             images:      (2^t * m) * u64
-//             gvals:       n * u32
-//             crc:u64                          (FNV-1a over the set payload)
-//
-// The serialized structure embeds no hash-function state: a loaded set is
-// only valid for the SAME RanGroupScanIntersection configuration (seed,
-// universe_bits, m) that produced it.  Callers persist those options next
-// to the file; Save/Load verify m and reject mismatches, and the CRC
-// rejects torn or corrupted files.
+// Semantics kept for existing callers: the serialized structure embeds no
+// hash-function state, so a loaded set is only valid for the SAME
+// RanGroupScanIntersection configuration (seed, universe_bits, m) that
+// produced it; Load verifies m and rejects mismatches; every failure
+// (bad magic, truncation, checksum, foreign m) throws std::runtime_error
+// (storage::SnapshotError derives from it).
 
 #ifndef FSI_CORE_SERIALIZATION_H_
 #define FSI_CORE_SERIALIZATION_H_
@@ -32,6 +28,9 @@
 
 namespace fsi {
 
+/// DEPRECATED: use Engine::SaveSnapshot/LoadSnapshot (api/engine.h).
+/// Kept (without an attribute, so -Werror builds of existing callers stay
+/// green) until the last caller migrates; see docs/PERSISTENCE.md.
 class StructureSerializer {
  public:
   /// Serializes `sets` (all produced by one RanGroupScanIntersection).

@@ -22,5 +22,6 @@
 #include "api/registry.h"  // AlgorithmRegistry, AlgorithmDescriptor
 #include "core/intersector.h"  // raw API + CreateAlgorithm shims
 #include "simd/cpu_features.h"  // SIMD dispatch introspection (ActiveLevel)
+#include "storage/snapshot.h"  // snapshot container (SaveSnapshot/LoadSnapshot)
 
 #endif  // FSI_FSI_H_

@@ -1,7 +1,14 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
+
+#include "storage/layout.h"
+#include "storage/mapped_file.h"
+#include "storage/snapshot.h"
 
 namespace fsi {
 
@@ -200,6 +207,167 @@ std::size_t InvertedIndex::SizeInWords() const {
   std::size_t words = 0;
   for (const auto& s : structures_) words += s.SizeInWords();
   return words;
+}
+
+namespace {
+
+// Fixed prefix of the term-table snapshot section; followed by term_count
+// packed entries of {set_index:u32, name_len:u32, name bytes}.
+struct IndexMetaRecord {
+  std::uint64_t num_documents = 0;
+  std::uint64_t last_doc_id = 0;
+  std::uint32_t has_docs = 0;
+  std::uint32_t updatable = 0;
+  double compact_fill = 0.0;
+  std::uint64_t compact_min = 0;
+  std::uint32_t background_compaction = 0;
+  std::uint32_t term_count = 0;
+};
+static_assert(sizeof(IndexMetaRecord) == 48);
+
+template <typename T>
+void AppendPod(std::vector<std::byte>* out, const T& value) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+}  // namespace
+
+void InvertedIndex::Save(const std::string& path) const {
+  if (!finalized_) {
+    throw std::logic_error("InvertedIndex::Save: index not finalized");
+  }
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+
+  std::vector<const PreparedSet*> sets;
+  sets.reserve(structures_.size());
+  for (const PreparedSet& s : structures_) sets.push_back(&s);
+
+  // Deterministic term order: by structure slot (dictionary_ is an
+  // unordered map).
+  std::vector<std::pair<std::size_t, const std::string*>> terms;
+  terms.reserve(dictionary_.size());
+  for (const auto& [term, index] : dictionary_) {
+    terms.emplace_back(index, &term);
+  }
+  std::sort(terms.begin(), terms.end());
+
+  IndexMetaRecord meta;
+  meta.num_documents = num_documents_;
+  meta.last_doc_id = last_doc_id_;
+  meta.has_docs = has_docs_ ? 1 : 0;
+  meta.updatable = updatable_ ? 1 : 0;
+  meta.compact_fill = mutable_options_.compact_fill;
+  meta.compact_min = mutable_options_.compact_min;
+  meta.background_compaction = mutable_options_.background_compaction ? 1 : 0;
+  meta.term_count = static_cast<std::uint32_t>(terms.size());
+
+  std::vector<std::byte> table;
+  AppendPod(&table, meta);
+  for (const auto& [index, term] : terms) {
+    AppendPod(&table, static_cast<std::uint32_t>(index));
+    AppendPod(&table, static_cast<std::uint32_t>(term->size()));
+    const std::size_t at = table.size();
+    table.resize(at + term->size());
+    std::memcpy(table.data() + at, term->data(), term->size());
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw storage::SnapshotError(
+        storage::SnapshotErrorCode::kIo,
+        "snapshot: cannot open '" + path + "' for writing");
+  }
+  storage::SnapshotWriter writer(out);
+  engine_.WriteSnapshotSections(writer, sets);
+  writer.AddSection(storage::kSectionTermTable, table,
+                    storage::kSectionFlagCritical);
+  writer.Finish();
+}
+
+InvertedIndex InvertedIndex::Open(const std::string& path,
+                                  SnapshotLoadOptions options,
+                                  SnapshotInfo* info) {
+  using storage::SnapshotError;
+  using storage::SnapshotErrorCode;
+  auto backing = std::make_shared<const storage::MappedFile>(
+      path, /*prefault=*/options.verify_checksums);
+  storage::SnapshotReader reader(
+      backing->bytes(),
+      storage::SnapshotReader::Options{options.verify_checksums});
+
+  const auto table =
+      reader.RequireSection(storage::kSectionTermTable, "term table");
+  if (table.size() < sizeof(IndexMetaRecord)) {
+    throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                        "snapshot: term table section too small");
+  }
+  IndexMetaRecord meta;
+  std::memcpy(&meta, table.data(), sizeof(meta));
+  if (meta.updatable != 0) {
+    options.mutable_options.compact_fill = meta.compact_fill;
+    options.mutable_options.compact_min = meta.compact_min;
+    options.mutable_options.background_compaction =
+        meta.background_compaction != 0;
+  }
+
+  LoadedSnapshot loaded =
+      Engine::LoadSnapshotSections(reader, backing, options);
+  if (info != nullptr) *info = loaded.info;
+  // Prvalue return: constructed directly in the caller's storage
+  // (guaranteed elision) — InvertedIndex itself is immovable.
+  return InvertedIndex(std::move(loaded), table, options);
+}
+
+InvertedIndex::InvertedIndex(LoadedSnapshot&& loaded,
+                             std::span<const std::byte> term_table,
+                             SnapshotLoadOptions options)
+    : engine_(std::move(loaded.engine)) {
+  using storage::SnapshotError;
+  using storage::SnapshotErrorCode;
+  IndexMetaRecord meta;
+  std::memcpy(&meta, term_table.data(), sizeof(meta));
+
+  structures_.assign(loaded.sets.begin(), loaded.sets.end());
+  num_documents_ = meta.num_documents;
+  last_doc_id_ = static_cast<Elem>(meta.last_doc_id);
+  has_docs_ = meta.has_docs != 0;
+  updatable_ = meta.updatable != 0;
+  mutable_options_ = options.mutable_options;
+  finalized_ = true;
+  // postings_ stays empty: post-finalize, structures_ is authoritative
+  // everywhere (queries, DocumentFrequency, InsertDocument growth).
+
+  std::size_t at = sizeof(meta);
+  dictionary_.reserve(meta.term_count);
+  for (std::uint32_t i = 0; i < meta.term_count; ++i) {
+    std::uint32_t set_index = 0;
+    std::uint32_t name_len = 0;
+    if (term_table.size() - at < sizeof(set_index) + sizeof(name_len)) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "snapshot: term table truncated");
+    }
+    std::memcpy(&set_index, term_table.data() + at, sizeof(set_index));
+    at += sizeof(set_index);
+    std::memcpy(&name_len, term_table.data() + at, sizeof(name_len));
+    at += sizeof(name_len);
+    if (term_table.size() - at < name_len) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "snapshot: term table truncated");
+    }
+    if (set_index >= structures_.size()) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "snapshot: term references missing structure");
+    }
+    std::string term(
+        reinterpret_cast<const char*>(term_table.data()) + at, name_len);
+    at += name_len;
+    if (!dictionary_.emplace(std::move(term), set_index).second) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "snapshot: duplicate term in term table");
+    }
+  }
 }
 
 }  // namespace fsi

@@ -118,7 +118,36 @@ class InvertedIndex {
   /// Total index footprint in 64-bit words (pre-processed structures).
   std::size_t SizeInWords() const;
 
+  // Snapshot persistence (docs/PERSISTENCE.md): one versioned file
+  // holding the engine image (every per-term structure + planner
+  // calibration) plus the term dictionary, so a process restart skips the
+  // whole build — Open() mmaps the file and queries run zero-copy against
+  // the mapping.
+
+  /// Saves the finalized index to `path`.  Requires Finalize() or
+  /// FinalizeUpdatable() first (throws std::logic_error otherwise); safe
+  /// concurrently with queries and updates (updatable posting lists are
+  /// saved as a consistent per-term snapshot).
+  void Save(const std::string& path) const;
+
+  /// Loads an index saved by Save().  The engine, per-term structures,
+  /// dictionary and update mode are reconstructed; an updatable index
+  /// comes back updatable (frozen bases + empty deltas).  When `info` is
+  /// non-null it receives the load report.  Throws
+  /// storage::SnapshotError on anything malformed.
+  static InvertedIndex Open(const std::string& path,
+                            SnapshotLoadOptions options = {},
+                            SnapshotInfo* info = nullptr);
+
  private:
+  /// The Open() tail: adopts a loaded engine image and rebuilds the
+  /// dictionary from the term-table section.  Private so the only path in
+  /// is Open() — and a prvalue return, since the shared_mutex member
+  /// makes the class immovable.
+  InvertedIndex(LoadedSnapshot&& loaded,
+                std::span<const std::byte> term_table,
+                SnapshotLoadOptions options);
+
   /// Resolves terms to prepared-set handles; false when a term is unknown.
   bool Resolve(std::span<const std::string> terms,
                std::vector<const PreparedSet*>* sets) const;

@@ -1,0 +1,86 @@
+#include "storage/crc64.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fsi::storage {
+namespace {
+
+// Reflected form of the ECMA-182 polynomial (CRC-64/XZ).
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+// tables[0] is the classic bytewise table; tables[k] advances a byte that
+// sits k positions deeper in the 16-byte gulp (slice-by-16: two 8-byte
+// words per step, with the CRC folded into the first — the second word's
+// tables bake in an extra 8-byte shift).
+struct Crc64Tables {
+  std::uint64_t t[16][256];
+
+  Crc64Tables() {
+    for (unsigned i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (unsigned i = 0; i < 256; ++i) {
+      for (int k = 1; k < 16; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc64Tables& Tables() {
+  static const Crc64Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint64_t Crc64(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc64Tables& tb = Tables();
+  std::uint64_t crc = ~seed;
+  // The wide gulp folds the low half of the running CRC into the input
+  // words directly, which is only correct when the in-memory word order
+  // matches the reflected bit order — i.e. on little-endian hosts.  The
+  // snapshot format is little-endian-only anyway; big-endian hosts take
+  // the bytewise loop below.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (bytes >= 16) {
+      std::uint64_t a, b;
+      std::memcpy(&a, p, 8);
+      std::memcpy(&b, p + 8, 8);
+      a ^= crc;
+      crc = tb.t[15][a & 0xFF] ^ tb.t[14][(a >> 8) & 0xFF] ^
+            tb.t[13][(a >> 16) & 0xFF] ^ tb.t[12][(a >> 24) & 0xFF] ^
+            tb.t[11][(a >> 32) & 0xFF] ^ tb.t[10][(a >> 40) & 0xFF] ^
+            tb.t[9][(a >> 48) & 0xFF] ^ tb.t[8][a >> 56] ^
+            tb.t[7][b & 0xFF] ^ tb.t[6][(b >> 8) & 0xFF] ^
+            tb.t[5][(b >> 16) & 0xFF] ^ tb.t[4][(b >> 24) & 0xFF] ^
+            tb.t[3][(b >> 32) & 0xFF] ^ tb.t[2][(b >> 40) & 0xFF] ^
+            tb.t[1][(b >> 48) & 0xFF] ^ tb.t[0][b >> 56];
+      p += 16;
+      bytes -= 16;
+    }
+    while (bytes >= 8) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, p, 8);
+      crc ^= chunk;
+      crc = tb.t[7][crc & 0xFF] ^ tb.t[6][(crc >> 8) & 0xFF] ^
+            tb.t[5][(crc >> 16) & 0xFF] ^ tb.t[4][(crc >> 24) & 0xFF] ^
+            tb.t[3][(crc >> 32) & 0xFF] ^ tb.t[2][(crc >> 40) & 0xFF] ^
+            tb.t[1][(crc >> 48) & 0xFF] ^ tb.t[0][crc >> 56];
+      p += 8;
+      bytes -= 8;
+    }
+  }
+  while (bytes-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace fsi::storage

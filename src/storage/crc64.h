@@ -1,0 +1,28 @@
+// CRC-64/XZ (reflected ECMA-182 polynomial) — the per-section checksum of
+// the snapshot format (storage/snapshot.h).
+//
+// Snapshot payloads are tens to hundreds of megabytes and are checksummed
+// on every load, so the implementation is slice-by-8 (~8 bytes per table
+// round) rather than the bytewise loop: on commodity hardware that is the
+// difference between the CRC pass costing less than the page-in and the
+// CRC pass dominating cold start.
+
+#ifndef FSI_STORAGE_CRC64_H_
+#define FSI_STORAGE_CRC64_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fsi::storage {
+
+/// CRC-64/XZ of `bytes` bytes at `data`.  Check value:
+/// Crc64("123456789", 9) == 0x995DC9BBDF1939FA.
+///
+/// Incremental use: feed the previous return value back as `seed` —
+/// Crc64(b, n1 + n2) == Crc64(b + n1, n2, Crc64(b, n1)).
+std::uint64_t Crc64(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0);
+
+}  // namespace fsi::storage
+
+#endif  // FSI_STORAGE_CRC64_H_

@@ -1,0 +1,94 @@
+#include "storage/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "storage/layout.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSI_STORAGE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace fsi::storage {
+namespace {
+
+[[noreturn]] void ThrowIo(const std::string& path, const char* op) {
+  throw SnapshotError(SnapshotErrorCode::kIo,
+                      "snapshot: cannot " + std::string(op) + " '" + path +
+                          "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path, bool prefault)
+    : path_(path) {
+#if FSI_STORAGE_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) ThrowIo(path, "open");
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowIo(path, "stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap(0) is EINVAL; an empty file is simply an empty span (the
+    // reader will reject it as truncated, with a better message).
+    ::close(fd);
+    return;
+  }
+  int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  if (prefault) flags |= MAP_POPULATE;
+#endif
+  void* map = ::mmap(nullptr, size_, PROT_READ, flags, fd, 0);
+#ifdef MAP_POPULATE
+  if (map == MAP_FAILED && prefault) {
+    // Some filesystems reject MAP_POPULATE; the hint is best-effort.
+    map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+#endif
+  // The fd is not needed once the mapping exists.
+  ::close(fd);
+  if (map == MAP_FAILED) ThrowIo(path, "mmap");
+  if (prefault) {
+    // The caller reads the file end to end next (the CRC pass) —
+    // tell the readahead machinery.
+    ::posix_madvise(map, size_, POSIX_MADV_SEQUENTIAL);
+  }
+  data_ = static_cast<const std::byte*>(map);
+  mapped_ = true;
+#else
+  (void)prefault;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) ThrowIo(path, "open");
+  const std::streamoff end = in.tellg();
+  if (end < 0) ThrowIo(path, "stat");
+  size_ = static_cast<std::size_t>(end);
+  fallback_.resize(size_);
+  in.seekg(0);
+  if (size_ > 0 &&
+      !in.read(reinterpret_cast<char*>(fallback_.data()),
+               static_cast<std::streamsize>(size_))) {
+    ThrowIo(path, "read");
+  }
+  data_ = fallback_.data();
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if FSI_STORAGE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace fsi::storage

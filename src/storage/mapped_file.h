@@ -1,0 +1,61 @@
+// Read-only file mapping for zero-copy snapshot loads.
+//
+// On POSIX hosts the file is mmap'ed PROT_READ/MAP_PRIVATE so loading a
+// snapshot is O(1): pages fault in lazily as queries touch them, the OS
+// page cache shares one physical copy across processes, and corpora
+// larger than RAM stay queryable.  Hosts without mmap fall back to a
+// plain heap read (load_mode() == "read") — same bytes, eager cost.
+//
+// Lifetime rule: every structure loaded zero-copy from a snapshot aliases
+// this mapping.  Engine::LoadSnapshot threads a shared_ptr<MappedFile>
+// into each loaded PreparedSet's deleter, so the mapping lives exactly as
+// long as the last handle onto it — callers never manage it by hand.
+
+#ifndef FSI_STORAGE_MAPPED_FILE_H_
+#define FSI_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fsi::storage {
+
+class MappedFile {
+ public:
+  /// Maps (or reads) `path`.  Throws SnapshotError(kIo) when the file
+  /// cannot be opened, stat'ed, or mapped.  `prefault` hints that the
+  /// caller is about to touch every page (a checksum-verifying load):
+  /// where supported the kernel populates the mapping up front
+  /// (MAP_POPULATE), which is much cheaper than faulting page by page.
+  /// Pass false to keep loads lazy (pages fault in as queries touch them).
+  explicit MappedFile(const std::string& path, bool prefault = false);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// True when bytes() aliases an actual mmap (pages lazily); false on
+  /// the heap-read fallback.
+  bool mapped() const noexcept { return mapped_; }
+
+  /// "mmap" or "read" — what --stats and SnapshotInfo report.
+  const char* load_mode() const noexcept { return mapped_ ? "mmap" : "read"; }
+
+ private:
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace fsi::storage
+
+#endif  // FSI_STORAGE_MAPPED_FILE_H_

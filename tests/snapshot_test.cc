@@ -1,0 +1,650 @@
+// Snapshot persistence tests (docs/PERSISTENCE.md): the CRC-64 kernel,
+// the flat-layout primitives, the section container, the save → load
+// round trip (every registered algorithm × every query sink, bitwise),
+// the zero-copy aliasing guarantee, the corruption matrix (every typed
+// failure a malformed file must produce instead of UB), mutable-set and
+// planner-calibration round trips, InvertedIndex::Save/Open, and a
+// cross-process save/load driven by the CI snapshot job.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/plain_set.h"
+#include "core/ran_group_scan.h"
+#include "fsi.h"
+#include "index/inverted_index.h"
+#include "storage/crc64.h"
+#include "storage/layout.h"
+#include "storage/mapped_file.h"
+#include "storage/snapshot.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace fsi {
+namespace {
+
+using storage::Crc64;
+using storage::SnapshotError;
+using storage::SnapshotErrorCode;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "fsi_" + name;
+}
+
+std::vector<std::byte> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<char> chars((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(chars.size());
+  std::memcpy(bytes.data(), chars.data(), chars.size());
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::byte>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+SnapshotErrorCode LoadErrorCode(const std::string& path) {
+  try {
+    (void)Engine::LoadSnapshot(path);
+  } catch (const SnapshotError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "LoadSnapshot(" << path << ") did not throw";
+  return SnapshotErrorCode::kIo;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-64/XZ
+
+TEST(Crc64Test, KnownCheckValue) {
+  // The CRC-64/XZ check value: CRC of the ASCII string "123456789".
+  EXPECT_EQ(Crc64("123456789", 9), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64Test, EmptyIsZero) { EXPECT_EQ(Crc64("", 0), 0u); }
+
+TEST(Crc64Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1027);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const std::uint64_t whole = Crc64(data.data(), data.size());
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                            std::size_t{63}, std::size_t{64},
+                            std::size_t{1000}, data.size()}) {
+    std::uint64_t crc = Crc64(data.data(), split);
+    crc = Crc64(data.data() + split, data.size() - split, crc);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc64Test, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(256, 0xA5);
+  const std::uint64_t before = Crc64(data.data(), data.size());
+  data[137] ^= 0x10;
+  EXPECT_NE(Crc64(data.data(), data.size()), before);
+}
+
+// ---------------------------------------------------------------------------
+// FlatArray semantics
+
+TEST(FlatArrayTest, OwningCopyRepointsView) {
+  storage::FlatArray<Elem> a(ElemList{1, 2, 3});
+  storage::FlatArray<Elem> b(a);  // copy must view its own storage
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3u);
+  storage::FlatArray<Elem> c(std::move(a));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 1u);
+}
+
+TEST(FlatArrayTest, BorrowedViewAliasesCaller) {
+  const ElemList backing{5, 6, 7, 8};
+  auto v = storage::FlatArray<Elem>::View(
+      std::span<const Elem>(backing.data(), backing.size()));
+  EXPECT_TRUE(v.borrowed());
+  EXPECT_EQ(v.data(), backing.data());
+  auto copy = v;  // copying a borrowed view stays a view
+  EXPECT_EQ(copy.data(), backing.data());
+}
+
+TEST(FlatArrayTest, PayloadWriterAligns) {
+  storage::PayloadWriter payload;
+  const ElemList a{1, 2, 3};
+  const std::vector<Word> b{4, 5};
+  auto ra = payload.Append(std::span<const Elem>(a.data(), a.size()));
+  auto rb = payload.Append(std::span<const Word>(b.data(), b.size()));
+  EXPECT_EQ(ra.offset % storage::kFlatAlignment, 0u);
+  EXPECT_EQ(rb.offset % storage::kFlatAlignment, 0u);
+  EXPECT_EQ(ra.count, 3u);
+  EXPECT_EQ(rb.count, 2u);
+  auto back = storage::ResolveSpan<Word>(payload.bytes(), rb, "b");
+  EXPECT_EQ(back[1], 5u);
+}
+
+TEST(FlatArrayTest, ResolveSpanRejectsOutOfBounds) {
+  storage::PayloadWriter payload;
+  const ElemList a{1, 2, 3};
+  payload.Append(std::span<const Elem>(a.data(), a.size()));
+  storage::FlatRef bogus{0, 1u << 20};
+  try {
+    (void)storage::ResolveSpan<Elem>(payload.bytes(), bogus, "bogus");
+    FAIL() << "out-of-bounds ref resolved";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kCorrupt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section container
+
+std::string BuildContainer(std::uint32_t extra_type,
+                           std::uint32_t extra_flags) {
+  std::ostringstream out(std::ios::binary);
+  storage::SnapshotWriter writer(out);
+  const char hello[] = "hello";
+  writer.AddSection(storage::kSectionEngineMeta,
+                    std::as_bytes(std::span(hello, 5)));
+  const char extra[] = "future";
+  writer.AddSection(extra_type, std::as_bytes(std::span(extra, 6)),
+                    extra_flags);
+  writer.Finish();
+  return out.str();
+}
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+TEST(SnapshotContainerTest, RoundTripsSections) {
+  const std::string file = BuildContainer(storage::kSectionPayload, 0);
+  storage::SnapshotReader reader(AsBytes(file));
+  EXPECT_EQ(reader.header().version_major, storage::kFormatVersionMajor);
+  ASSERT_EQ(reader.entries().size(), 2u);
+  auto meta = reader.RequireSection(storage::kSectionEngineMeta, "meta");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(meta.data()),
+                        meta.size()),
+            "hello");
+  EXPECT_FALSE(reader.Section(storage::kSectionTermTable).has_value());
+}
+
+TEST(SnapshotContainerTest, SkipsUnknownNonCriticalSection) {
+  // An unknown *non-critical* section is a minor-version addition: the
+  // reader indexes past it and old code keeps working.
+  const std::string file = BuildContainer(/*extra_type=*/999, /*flags=*/0);
+  storage::SnapshotReader reader(AsBytes(file));
+  EXPECT_TRUE(reader.Section(storage::kSectionEngineMeta).has_value());
+}
+
+TEST(SnapshotContainerTest, RejectsUnknownCriticalSection) {
+  const std::string file =
+      BuildContainer(/*extra_type=*/999, storage::kSectionFlagCritical);
+  try {
+    storage::SnapshotReader reader(AsBytes(file));
+    FAIL() << "unknown critical section accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kBadVersion);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip differential: every algorithm × every sink
+
+class SnapshotRoundTripTest : public testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SnapshotRoundTripTest,
+    testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (std::string_view n :
+           AlgorithmRegistry::Global().Names(/*include_hidden=*/false)) {
+        names.emplace_back(n);
+      }
+      return names;
+    }()),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(SnapshotRoundTripTest, EverySinkBitwiseIdentical) {
+  const std::string& spec = GetParam();
+  const auto* desc = AlgorithmRegistry::Global().Find(spec);
+  ASSERT_NE(desc, nullptr);
+  const std::size_t k = desc->max_query_sets < 3 ? 2 : 3;
+
+  Xoshiro256 rng(0xD1DC0DEULL);
+  std::vector<std::size_t> sizes(k);
+  for (std::size_t i = 0; i < k; ++i) sizes[i] = 300 + 450 * i;
+  const auto lists = GenerateIntersectingSets(sizes, 64, 1u << 20, rng);
+
+  Engine engine(spec, EngineOptions{.validation = ValidationPolicy::kFull});
+  std::vector<PreparedSet> prepared;
+  for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+  const ElemList expected = engine.Query(prepared).Materialize();
+  ASSERT_EQ(expected.size(), 64u);
+
+  const std::string path = TempPath("rt_" + std::string(desc->name));
+  engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+
+  LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+  EXPECT_EQ(loaded.info.spec, spec);
+  EXPECT_EQ(loaded.info.sets_total, k);
+  ASSERT_EQ(loaded.sets.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(loaded.sets[i].size(), lists[i].size()) << "set " << i;
+  }
+
+  Query query = loaded.engine.Query(loaded.sets);
+  // Sink 1: Materialize.
+  EXPECT_EQ(query.Materialize(), expected);
+  // Sink 2: ExecuteInto.
+  ElemList into;
+  query.ExecuteInto(&into);
+  EXPECT_EQ(into, expected);
+  // Sink 3: Count.
+  EXPECT_EQ(loaded.engine.Query(loaded.sets).Count(), expected.size());
+  // Sink 4: Visit.
+  ElemList visited;
+  loaded.engine.Query(loaded.sets).Visit(
+      [&](Elem e) { visited.push_back(e); });
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited, expected);
+
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy aliasing
+
+bool Aliases(const void* p, const SnapshotInfo& info) {
+  const auto* base = static_cast<const std::byte*>(info.map_base);
+  const auto* q = static_cast<const std::byte*>(p);
+  return base != nullptr && q >= base && q < base + info.mapped_bytes;
+}
+
+TEST(SnapshotZeroCopyTest, ScanStructureAliasesMapping) {
+  Xoshiro256 rng(42);
+  const auto lists = GenerateIntersectingSets({500, 800}, 40, 1u << 18, rng);
+  Engine engine("RanGroupScan");
+  std::vector<PreparedSet> prepared;
+  for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+  const std::string path = TempPath("zerocopy_scan");
+  engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+
+  LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+  EXPECT_EQ(loaded.info.sets_zero_copy, 2u);
+  EXPECT_EQ(loaded.info.sets_rebuilt, 0u);
+  EXPECT_EQ(loaded.info.load_mode, "mmap");
+  for (const PreparedSet& s : loaded.sets) {
+    const auto* scan = dynamic_cast<const ScanSet*>(s.raw());
+    ASSERT_NE(scan, nullptr);
+    // The structure arrays point straight into the mapped file — the
+    // "zero per-element copies" guarantee, checked by address.
+    EXPECT_TRUE(Aliases(scan->group_starts().data(), loaded.info));
+    EXPECT_TRUE(Aliases(scan->images().data(), loaded.info));
+    EXPECT_TRUE(Aliases(scan->gvals().data(), loaded.info));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotZeroCopyTest, PlainStructureAliasesMapping) {
+  Xoshiro256 rng(43);
+  const auto lists = GenerateIntersectingSets({300, 400}, 25, 1u << 18, rng);
+  Engine engine("Merge");
+  std::vector<PreparedSet> prepared;
+  for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+  const std::string path = TempPath("zerocopy_plain");
+  engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+
+  LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+  ASSERT_EQ(loaded.info.sets_zero_copy + loaded.info.sets_rebuilt, 2u);
+  if (loaded.info.sets_zero_copy == 2) {
+    for (const PreparedSet& s : loaded.sets) {
+      const auto* plain = dynamic_cast<const PlainSet*>(s.raw());
+      ASSERT_NE(plain, nullptr);
+      EXPECT_TRUE(Aliases(plain->elems().data(), loaded.info));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotZeroCopyTest, SetsOutliveTheLoadedSnapshotStruct) {
+  // The backing mapping is refcounted into every zero-copy set: moving
+  // the sets out and dropping everything else must keep the bytes alive.
+  Xoshiro256 rng(44);
+  const auto lists = GenerateIntersectingSets({600, 900}, 33, 1u << 18, rng);
+  const std::string path = TempPath("lifetime");
+  std::vector<PreparedSet> survivors;
+  ElemList expected;
+  {
+    Engine engine("RanGroupScan");
+    std::vector<PreparedSet> prepared;
+    for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+    expected = engine.Query(prepared).Materialize();
+    engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+  }
+  Engine survivor_engine;
+  {
+    LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+    survivor_engine = loaded.engine;
+    survivors = std::move(loaded.sets);
+  }  // LoadedSnapshot (and its info/backing handle) destroyed here
+  EXPECT_EQ(survivor_engine.Query(survivors).Materialize(), expected);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix
+
+class SnapshotCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corrupt");
+    Xoshiro256 rng(7);
+    const auto lists =
+        GenerateIntersectingSets({400, 700}, 30, 1u << 18, rng);
+    Engine engine("RanGroupScan");
+    std::vector<PreparedSet> prepared;
+    for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+    engine.SaveSnapshot(path_, std::span<const PreparedSet>(prepared));
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 128u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Re-stamps the header CRC (over the first 56 bytes) after a patch, so
+  /// the test exercises the *intended* check rather than the checksum.
+  void FixHeaderCrc() {
+    const std::uint64_t crc = Crc64(bytes_.data(), storage::kHeaderCrcBytes);
+    std::memcpy(bytes_.data() + storage::kHeaderCrcBytes, &crc, sizeof(crc));
+  }
+
+  SnapshotErrorCode PatchedLoadError() {
+    WriteFileBytes(path_, bytes_);
+    return LoadErrorCode(path_);
+  }
+
+  std::string path_;
+  std::vector<std::byte> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, BadMagic) {
+  std::memset(bytes_.data(), 0x5A, 8);
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kBadMagic);
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignEndianMagic) {
+  // The magic as a big-endian writer would have laid it down.
+  std::uint64_t swapped = 0;
+  for (int i = 0; i < 8; ++i) {
+    swapped = (swapped << 8) |
+              ((storage::kSnapshotMagic >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(bytes_.data(), &swapped, 8);
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kForeignEndian);
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignEndianStamp) {
+  const std::uint32_t stamp = 0x04030201;  // field offset 16 (snapshot.h)
+  std::memcpy(bytes_.data() + 16, &stamp, sizeof(stamp));
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kForeignEndian);
+}
+
+TEST_F(SnapshotCorruptionTest, FutureMajorVersion) {
+  const std::uint32_t future = storage::kFormatVersionMajor + 1;
+  std::memcpy(bytes_.data() + 8, &future, sizeof(future));
+  FixHeaderCrc();
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kBadVersion);
+}
+
+TEST_F(SnapshotCorruptionTest, AbiElemWidthMismatch) {
+  const std::uint16_t wide_elem = 8;  // elem_size field, offset 20
+  std::memcpy(bytes_.data() + 20, &wide_elem, sizeof(wide_elem));
+  FixHeaderCrc();
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kAbiMismatch);
+}
+
+TEST_F(SnapshotCorruptionTest, HeaderBitFlip) {
+  bytes_[40] ^= std::byte{0x01};  // inside the CRC-covered 56 bytes
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlip) {
+  bytes_[bytes_.size() / 2] ^= std::byte{0x20};
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotCorruptionTest, TruncatedToHalf) {
+  bytes_.resize(bytes_.size() / 2);
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kTruncated);
+}
+
+TEST_F(SnapshotCorruptionTest, TruncatedBelowHeader) {
+  bytes_.resize(17);
+  EXPECT_EQ(PatchedLoadError(), SnapshotErrorCode::kTruncated);
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFile) {
+  EXPECT_EQ(LoadErrorCode(TempPath("no_such_snapshot")),
+            SnapshotErrorCode::kIo);
+}
+
+TEST_F(SnapshotCorruptionTest, GarbageFile) {
+  std::vector<std::byte> garbage(4096, std::byte{0xAB});
+  WriteFileBytes(path_, garbage);
+  EXPECT_EQ(LoadErrorCode(path_), SnapshotErrorCode::kBadMagic);
+}
+
+// ---------------------------------------------------------------------------
+// Mutable sets
+
+TEST(SnapshotMutableTest, EffectiveContentsRoundTripAndStayMutable) {
+  Engine engine("Merge");
+  PreparedSet a = engine.PrepareMutable({10, 20, 30, 40});
+  PreparedSet b = engine.PrepareMutable({20, 30, 50});
+  ASSERT_TRUE(a.Insert(25));
+  ASSERT_TRUE(b.Insert(25));
+  ASSERT_TRUE(a.Erase(40));
+
+  const std::string path = TempPath("mutable");
+  std::vector<const PreparedSet*> handles{&a, &b};
+  engine.SaveSnapshot(path,
+                      std::span<const PreparedSet* const>(handles));
+
+  LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+  EXPECT_EQ(loaded.info.sets_mutable, 2u);
+  ASSERT_EQ(loaded.sets.size(), 2u);
+  EXPECT_TRUE(loaded.sets[0].is_mutable());
+  // The delta was folded into the frozen base at save time.
+  EXPECT_EQ(loaded.sets[0].delta_size(), 0u);
+  EXPECT_EQ(loaded.sets[0].size(), 4u);  // 10 20 25 30
+
+  ElemList both =
+      loaded.engine.Query({&loaded.sets[0], &loaded.sets[1]}).Materialize();
+  EXPECT_EQ(both, (ElemList{20, 25, 30}));
+
+  // The loaded sets accept further updates, visible to queries.
+  ASSERT_TRUE(loaded.sets[1].Insert(10));
+  both =
+      loaded.engine.Query({&loaded.sets[0], &loaded.sets[1]}).Materialize();
+  EXPECT_EQ(both, (ElemList{10, 20, 25, 30}));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Planner calibration stamping
+
+TEST(SnapshotCalibrationTest, LoadedPlannerUsesStampedConstants) {
+  Xoshiro256 rng(9);
+  const auto lists = GenerateIntersectingSets({500, 900}, 45, 1u << 18, rng);
+  Engine engine("Planner");
+  std::vector<PreparedSet> prepared;
+  for (const auto& l : lists) prepared.push_back(engine.Prepare(l));
+  const ElemList expected = engine.Query(prepared).Materialize();
+
+  const std::string path = TempPath("calibration");
+  engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+  LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+  // The load must reuse the stamped constants, not re-measure.
+  EXPECT_EQ(loaded.info.calibration_source, "snapshot");
+  EXPECT_EQ(loaded.info.spec, "Planner");
+  EXPECT_EQ(loaded.engine.Query(loaded.sets).Materialize(), expected);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Errors on misuse
+
+TEST(SnapshotApiTest, RejectsForeignHandles) {
+  Engine a("Merge");
+  Engine b("Merge");
+  PreparedSet pa = a.Prepare({1, 2, 3});
+  std::vector<const PreparedSet*> handles{&pa};
+  EXPECT_THROW(b.SaveSnapshot(TempPath("foreign"),
+                              std::span<const PreparedSet* const>(handles)),
+               std::invalid_argument);
+}
+
+TEST(SnapshotApiTest, SaveToUnwritablePathThrowsIo) {
+  Engine engine("Merge");
+  PreparedSet s = engine.Prepare({1, 2, 3});
+  std::vector<const PreparedSet*> handles{&s};
+  try {
+    engine.SaveSnapshot("/nonexistent_dir_fsi/snap",
+                        std::span<const PreparedSet* const>(handles));
+    FAIL() << "save to unwritable path succeeded";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kIo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InvertedIndex::Save / Open
+
+std::vector<std::string> Terms(std::initializer_list<const char*> ts) {
+  return {ts.begin(), ts.end()};
+}
+
+TEST(IndexSnapshotTest, RoundTripsQueriesAndDictionary) {
+  InvertedIndex index{Engine("Hybrid")};
+  index.AddDocument(1, Terms({"a", "b"}));
+  index.AddDocument(2, Terms({"a", "c"}));
+  index.AddDocument(5, Terms({"a", "b", "c"}));
+  index.AddDocument(9, Terms({"b", "c"}));
+  index.Finalize();
+
+  const std::string path = TempPath("index");
+  index.Save(path);
+
+  SnapshotInfo info;
+  InvertedIndex opened = InvertedIndex::Open(path, {}, &info);
+  EXPECT_EQ(info.sets_total, 3u);
+  EXPECT_EQ(opened.num_terms(), 3u);
+  EXPECT_EQ(opened.num_documents(), 4u);
+  EXPECT_FALSE(opened.updatable());
+  EXPECT_EQ(opened.DocumentFrequency("a"), 3u);
+  EXPECT_EQ(opened.DocumentFrequency("zzz"), 0u);
+  const auto ab = Terms({"a", "b"});
+  EXPECT_EQ(opened.Query(ab), index.Query(ab));
+  EXPECT_EQ(opened.Query(ab), (ElemList{1, 5}));
+  const auto abc = Terms({"a", "b", "c"});
+  EXPECT_EQ(opened.CountMatching(abc), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, UpdatableIndexComesBackUpdatable) {
+  InvertedIndex index;
+  index.AddDocument(1, Terms({"x", "y"}));
+  index.AddDocument(3, Terms({"x"}));
+  index.FinalizeUpdatable();
+  index.InsertDocument(7, Terms({"x", "y"}));
+
+  const std::string path = TempPath("index_upd");
+  index.Save(path);
+
+  InvertedIndex opened = InvertedIndex::Open(path);
+  EXPECT_TRUE(opened.updatable());
+  const auto xy = Terms({"x", "y"});
+  EXPECT_EQ(opened.Query(xy), (ElemList{1, 7}));
+  // Updates keep working after the reload.
+  opened.InsertDocument(9, xy);
+  EXPECT_EQ(opened.Query(xy), (ElemList{1, 7, 9}));
+  opened.EraseDocument(1, xy);
+  EXPECT_EQ(opened.Query(xy), (ElemList{7, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, SaveBeforeFinalizeThrows) {
+  InvertedIndex index;
+  index.AddDocument(1, Terms({"a"}));
+  EXPECT_THROW(index.Save(TempPath("unfinalized")), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process: driven by CI in two phases (save in one process, load in
+// another) via FSI_SNAPSHOT_CROSS_FILE / FSI_SNAPSHOT_CROSS_PHASE; without
+// the env vars, both phases run here (fresh mapping either way).
+
+ElemList CrossLists(std::size_t i) {
+  Xoshiro256 rng(0xCAFE + i);
+  return SampleSortedSet(2000 + 500 * i, 1u << 20, rng);
+}
+
+TEST(SnapshotCrossProcessTest, SaveThenLoad) {
+  const char* env_file = std::getenv("FSI_SNAPSHOT_CROSS_FILE");
+  const char* env_phase = std::getenv("FSI_SNAPSHOT_CROSS_PHASE");
+  const std::string path =
+      env_file != nullptr ? env_file : TempPath("cross");
+  const std::string phase = env_phase != nullptr ? env_phase : "both";
+
+  ElemList expected;
+  if (phase == "save" || phase == "both") {
+    Engine engine("Planner");
+    std::vector<PreparedSet> prepared;
+    for (std::size_t i = 0; i < 3; ++i) {
+      prepared.push_back(engine.Prepare(CrossLists(i)));
+    }
+    expected = engine.Query(prepared).Materialize();
+    engine.SaveSnapshot(path, std::span<const PreparedSet>(prepared));
+  }
+  if (phase == "load" || phase == "both") {
+    if (expected.empty()) {
+      // Load phase in a fresh process: recompute the ground truth from
+      // the deterministic generators.
+      Engine ref("Merge");
+      std::vector<PreparedSet> prepared;
+      for (std::size_t i = 0; i < 3; ++i) {
+        prepared.push_back(ref.Prepare(CrossLists(i)));
+      }
+      expected = ref.Query(prepared).Materialize();
+    }
+    LoadedSnapshot loaded = Engine::LoadSnapshot(path);
+    EXPECT_EQ(loaded.info.sets_total, 3u);
+    EXPECT_EQ(loaded.engine.Query(loaded.sets).Materialize(), expected);
+    if (phase == "both") std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace fsi
