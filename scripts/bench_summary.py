@@ -16,7 +16,11 @@ latency at each delta-fill level over the empty-delta baseline, the
 post-compaction ratio, compaction cost and insert throughput), a
 ``cold_start_speedup`` section condensing the fig_coldstart export
 (prepare-from-scratch over mmap-load time — the snapshot persistence
-gate, docs/PERSISTENCE.md), and —
+gate, docs/PERSISTENCE.md), a ``sharding_scaling`` section condensing
+the fig_sharding export (queries/s and p50/p95/p99 latency per
+shard-count × thread-count configuration, plus the speedup of each
+shard count over the single-shard baseline — the scatter-gather serving
+gate, docs/SERVING.md), and —
 when the directory has a ``scalar/`` subdirectory holding a second run
 made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
 per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
@@ -141,7 +145,8 @@ def row(bench):
         "real_time": bench.get("real_time"),
         "time_unit": bench.get("time_unit"),
     }
-    for key in ("items_per_second", "result_size", "threads", "p95_us"):
+    for key in ("items_per_second", "result_size", "threads", "shards",
+                "p50_us", "p95_us", "p99_us"):
         if key in bench:
             out[key] = bench[key]
     return out
@@ -245,6 +250,50 @@ def cold_start_speedup(benchmarks):
     return section
 
 
+def sharding_scaling(benchmarks):
+    """The fig_sharding latency/throughput table, per query mix.
+
+    Benchmark names are ``sharding/<mix>/shards:S/threads:T``; each row
+    carries items_per_second plus p50/p95/p99 latency counters from the
+    serving layer's ServeBatch.  ``speedup_vs_1_shard`` is the
+    items_per_second ratio of each shard count over shards:1 at the same
+    thread count — scatter-gather's per-query parallelism, the number CI
+    gates at >= 3x for 8 shards (docs/SERVING.md, docs/BENCHMARKS.md).
+    """
+    pattern = re.compile(r"^sharding/([^/]+)/shards:(\d+)/threads:(\d+)")
+    configs = {}  # mix -> {(shards, threads): bench}
+    for bench in benchmarks:
+        match = pattern.match(bench.get("name", ""))
+        if not match or "items_per_second" not in bench:
+            continue
+        mix, shards, threads = (match.group(1), int(match.group(2)),
+                                int(match.group(3)))
+        configs.setdefault(mix, {})[(shards, threads)] = bench
+    if not configs:
+        return None
+    section = {}
+    for mix, by_config in sorted(configs.items()):
+        table = {}
+        speedups = {}
+        for (shards, threads), bench in sorted(by_config.items()):
+            key = "shards:%d/threads:%d" % (shards, threads)
+            table[key] = {
+                "queries_per_second": round(bench["items_per_second"], 1),
+            }
+            for counter in ("p50_us", "p95_us", "p99_us"):
+                if counter in bench:
+                    table[key][counter] = round(bench[counter], 1)
+            base = by_config.get((1, threads))
+            if base and base.get("items_per_second"):
+                speedups[key] = round(
+                    bench["items_per_second"] / base["items_per_second"], 2)
+        entry = {"configs": table}
+        if speedups:
+            entry["speedup_vs_1_shard"] = speedups
+        section[mix] = entry
+    return section
+
+
 def fig13_scaling(benchmarks):
     """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
     qps = {}  # algorithm -> {threads: items_per_second}
@@ -300,6 +349,10 @@ def main():
     scaling = fig13_scaling(all_benchmarks)
     if scaling:
         summary["fig13_thread_scaling"] = scaling
+
+    sharding = sharding_scaling(all_benchmarks)
+    if sharding:
+        summary["sharding_scaling"] = sharding
 
     mutation = mutation_overhead(all_benchmarks)
     if mutation:

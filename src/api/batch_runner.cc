@@ -139,6 +139,7 @@ void BatchRunner::Execute(
   for (double micros : wall_micros) per_query.Add(micros);
   stats_.p50_micros = per_query.Percentile(0.50);
   stats_.p95_micros = per_query.Percentile(0.95);
+  stats_.p99_micros = per_query.Percentile(0.99);
   stats_.max_micros = per_query.Max();
   if (stats_.wall_ms > 0.0) {
     stats_.queries_per_second =

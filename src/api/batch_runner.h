@@ -93,9 +93,17 @@ struct BatchStats {
   /// Per-query wall-time percentiles, microseconds.
   double p50_micros = 0.0;
   double p95_micros = 0.0;
+  /// The SLO percentile: tail latency one query in a hundred exceeds.
+  double p99_micros = 0.0;
   double max_micros = 0.0;
   /// num_queries / batch wall time.
   double queries_per_second = 0.0;
+  /// Queries that missed their deadline (kExpired + kPartial).  Always 0
+  /// for BatchRunner (no deadlines); filled by ShardedEngine::ServeBatch.
+  std::size_t deadline_misses = 0;
+  /// Queries refused at admission (kRejected) — excluded from the
+  /// latency percentiles.  Always 0 for BatchRunner.
+  std::size_t rejected = 0;
 };
 
 /// Executes batches of queries against one Engine on a persistent worker

@@ -21,6 +21,7 @@
 #include "api/planner.h"   // PlannerAlgorithm, QueryPlan, PlannerCalibration
 #include "api/registry.h"  // AlgorithmRegistry, AlgorithmDescriptor
 #include "core/intersector.h"  // raw API + CreateAlgorithm shims
+#include "serve/sharded_engine.h"  // ShardedEngine scatter-gather serving tier
 #include "simd/cpu_features.h"  // SIMD dispatch introspection (ActiveLevel)
 #include "storage/snapshot.h"  // snapshot container (SaveSnapshot/LoadSnapshot)
 

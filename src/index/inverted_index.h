@@ -28,14 +28,31 @@ namespace fsi {
 
 /// Inverted index over string terms with a pluggable intersection engine.
 ///
-/// Two lifecycles:
-///  * build-once — AddDocument* ... Finalize(); the index is then
-///    read-only and fully thread-safe for queries;
-///  * updatable — AddDocument* ... FinalizeUpdatable(); queries run
-///    exactly as before (lock-free against the per-term structures), and
-///    InsertDocument/EraseDocument apply term-document updates
-///    concurrently with them (see docs/ARCHITECTURE.md, "Mutability &
-///    epochs", for the snapshot semantics each query gets).
+/// The lifecycle (the README's "index lifecycle" section walks the same
+/// stages with examples):
+///
+///  1. Build — AddDocument* accumulates postings, then exactly one of:
+///      * Finalize(): every posting list is pre-processed once
+///        (Engine::Prepare, the paper's preprocessing stage); the index
+///        is read-only and fully thread-safe for queries, or
+///      * FinalizeUpdatable(): posting lists become *mutable* prepared
+///        sets — InsertDocument/EraseDocument then apply term-document
+///        updates concurrently with lock-free readers (see
+///        docs/ARCHITECTURE.md, "Mutability & epochs", for the snapshot
+///        semantics each query gets).
+///  2. Query — Query/CountMatching intersect the query terms' postings
+///     on the calling thread; BatchMatch/BatchCount run a whole query
+///     log concurrently via fsi::BatchRunner, bitwise-identical to the
+///     serial loop.
+///  3. Persist — Save() writes one snapshot file (engine image + term
+///     dictionary); Open() mmap-loads it back zero-copy, skipping the
+///     whole build, with updatable indexes round-tripping updatable
+///     (docs/PERSISTENCE.md).
+///
+/// For a serving tier with per-query deadlines and admission control,
+/// feed per-term postings into a ShardedEngine instead
+/// (serve/sharded_engine.h, docs/SERVING.md) — examples/search_server.cpp
+/// shows that deployment shape.
 class InvertedIndex {
  public:
   /// Zero-config: the cost-model planner picks the intersection algorithm

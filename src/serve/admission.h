@@ -1,0 +1,105 @@
+// Admission control for the serving layer: a bounded in-flight gate.
+//
+// A serving tier protects its tail latency by refusing work it cannot
+// finish in time: once `max_in_flight` queries are being scattered or
+// gathered, further arrivals are *rejected* immediately (a typed
+// ServeStatus::kRejected, serve/sharded_engine.h) instead of queueing
+// behind work that would push every later query past its deadline.
+// Rejection is cheap for the caller to retry against a replica; a
+// deadline miss after seconds of queueing is not.
+//
+// The gate is a single atomic counter with compare-exchange admission —
+// no mutex, no queue — plus monotone admitted/rejected counters for SLO
+// accounting.  RAII tickets make release exception-safe.
+
+#ifndef FSI_SERVE_ADMISSION_H_
+#define FSI_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace fsi {
+
+/// Bounded-in-flight admission gate.  All members are safe to call
+/// concurrently from any number of threads.
+class AdmissionController {
+ public:
+  /// `max_in_flight` == 0 admits nothing (useful for drain/shutdown
+  /// states); callers wanting "unbounded" pass SIZE_MAX.
+  explicit AdmissionController(std::size_t max_in_flight)
+      : max_in_flight_(max_in_flight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Attempts to admit one query: true (and one slot held) when the
+  /// in-flight count was below the bound, false (and `rejected()`
+  /// bumped) when the gate is full.
+  bool TryAdmit() {
+    std::size_t current = in_flight_.load(std::memory_order_relaxed);
+    while (current < max_in_flight_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Returns one slot taken by a successful TryAdmit().
+  void Release() { in_flight_.fetch_sub(1, std::memory_order_release); }
+
+  std::size_t max_in_flight() const { return max_in_flight_; }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t max_in_flight_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// RAII slot holder: releases the admission slot on destruction.  Empty
+/// (rejected) tickets release nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(std::exchange(other.controller_, nullptr)) {}
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      if (controller_ != nullptr) controller_->Release();
+      controller_ = std::exchange(other.controller_, nullptr);
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+
+  bool admitted() const { return controller_ != nullptr; }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+}  // namespace fsi
+
+#endif  // FSI_SERVE_ADMISSION_H_

@@ -167,8 +167,13 @@ TEST(BatchRunnerTest, StatsMergeCorrectness) {
   EXPECT_GT(stats.wall_ms, 0.0);
   EXPECT_GT(stats.queries_per_second, 0.0);
   EXPECT_LE(stats.p50_micros, stats.p95_micros);
-  EXPECT_LE(stats.p95_micros, stats.max_micros);
+  EXPECT_LE(stats.p95_micros, stats.p99_micros);
+  EXPECT_LE(stats.p99_micros, stats.max_micros);
   EXPECT_GT(stats.max_micros, 0.0);
+  // BatchRunner applies no deadlines or admission: the serving-layer
+  // counters stay zero here (see ShardedEngine::ServeBatch).
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
 }
 
 TEST(BatchRunnerTest, StatsRefreshAcrossBatches) {
