@@ -20,7 +20,10 @@ gate, docs/PERSISTENCE.md), a ``sharding_scaling`` section condensing
 the fig_sharding export (queries/s and p50/p95/p99 latency per
 shard-count × thread-count configuration, plus the speedup of each
 shard count over the single-shard baseline — the scatter-gather serving
-gate, docs/SERVING.md), and —
+gate, docs/SERVING.md), a ``query_algebra`` section condensing the
+fig_algebra export (expression-evaluation time per OR-width × depth ×
+cache-hit-rate shape and the memoized-over-cold speedup — the
+expression-cache gate, docs/ALGEBRA.md), and —
 when the directory has a ``scalar/`` subdirectory holding a second run
 made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
 per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
@@ -294,6 +297,45 @@ def sharding_scaling(benchmarks):
     return section
 
 
+def query_algebra(benchmarks):
+    """The fig_algebra expression-evaluation table, by tree shape.
+
+    Benchmark names are ``algebra/width:W/depth:D/hit:H`` where H is the
+    controlled ExprCache hit rate (0, 50 or 100 percent).  For each
+    (width, depth) shape the section records the per-hit-rate time and
+    ``memo_speedup`` — the hit:0 time over the hit:100 time, i.e. how
+    much cheaper re-evaluating a fully memoized tree is than a cold
+    evaluation.  CI gates ``best_memo_speedup`` at >= 5x
+    (docs/ALGEBRA.md, "Memoization").
+    """
+    pattern = re.compile(r"^algebra/width:(\d+)/depth:(\d+)/hit:(\d+)$")
+    shapes = {}  # (width, depth) -> {hit: real_time}
+    for bench in benchmarks:
+        match = pattern.match(bench.get("name", ""))
+        if not match or not bench.get("real_time"):
+            continue
+        width, depth, hit = match.groups()
+        shapes.setdefault((width, depth), {})[hit] = bench["real_time"]
+    if not shapes:
+        return None
+    section = {"configs": {}}
+    best = 0.0
+    for (width, depth), by_hit in sorted(shapes.items()):
+        key = "width:%s/depth:%s" % (width, depth)
+        entry = {
+            "time_us_by_hit_pct": {h: round(t, 2)
+                                   for h, t in sorted(by_hit.items())}
+        }
+        cold, hot = by_hit.get("0"), by_hit.get("100")
+        if cold and hot:
+            entry["memo_speedup"] = round(cold / hot, 2)
+            best = max(best, entry["memo_speedup"])
+        section["configs"][key] = entry
+    if best:
+        section["best_memo_speedup"] = best
+    return section
+
+
 def fig13_scaling(benchmarks):
     """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
     qps = {}  # algorithm -> {threads: items_per_second}
@@ -361,6 +403,10 @@ def main():
     coldstart = cold_start_speedup(all_benchmarks)
     if coldstart:
         summary["cold_start_speedup"] = coldstart
+
+    algebra = query_algebra(all_benchmarks)
+    if algebra:
+        summary["query_algebra"] = algebra
 
     planner = load_planner_text(directory)
     if planner:

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "api/expr.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -38,23 +39,66 @@ std::size_t BatchRunner::Visit(
   return stats_.total_results;
 }
 
+std::vector<ElemList> BatchRunner::Materialize(std::span<const Expr> queries) {
+  std::vector<ElemList> results;
+  ExecuteExprs(queries, Sink::kMaterialize, &results, nullptr, nullptr);
+  return results;
+}
+
+std::vector<std::size_t> BatchRunner::Count(std::span<const Expr> queries) {
+  std::vector<std::size_t> counts;
+  ExecuteExprs(queries, Sink::kCount, nullptr, &counts, nullptr);
+  return counts;
+}
+
+std::size_t BatchRunner::Visit(
+    std::span<const Expr> queries,
+    const std::function<void(std::size_t, std::span<const Elem>)>& visit) {
+  ExecuteExprs(queries, Sink::kVisit, nullptr, nullptr, &visit);
+  return stats_.total_results;
+}
+
 void BatchRunner::Execute(
     std::span<const BatchQuery> queries, Sink sink,
     std::vector<ElemList>* results, std::vector<std::size_t>* counts,
     const std::function<void(std::size_t, std::span<const Elem>)>* visit) {
-  const std::size_t n = queries.size();
-
   // Build every query up front, on this thread: validation errors (empty
   // handles, cross-engine sets, arity overflow) throw here, before any
   // worker runs, with the all-or-nothing semantics of Engine::Query.
   std::vector<fsi::Query> built;
-  built.reserve(n);
+  built.reserve(queries.size());
   for (const BatchQuery& q : queries) {
     fsi::Query query = engine_.Query(q);
     if (!options_.ordered || sink == Sink::kCount) query.Unordered();
     query.Limit(options_.limit);
     built.push_back(std::move(query));
   }
+  ExecuteBuilt(std::move(built), sink, results, counts, visit);
+}
+
+void BatchRunner::ExecuteExprs(
+    std::span<const Expr> queries, Sink sink,
+    std::vector<ElemList>* results, std::vector<std::size_t>* counts,
+    const std::function<void(std::size_t, std::span<const Elem>)>* visit) {
+  // Same serial build contract as the flat path: empty handles, foreign
+  // leaves, and malformed trees throw here, and the optimizer runs once
+  // per query before any worker starts.
+  std::vector<fsi::Query> built;
+  built.reserve(queries.size());
+  for (const Expr& e : queries) {
+    fsi::Query query = engine_.Query(e);
+    if (!options_.ordered || sink == Sink::kCount) query.Unordered();
+    query.Limit(options_.limit);
+    built.push_back(std::move(query));
+  }
+  ExecuteBuilt(std::move(built), sink, results, counts, visit);
+}
+
+void BatchRunner::ExecuteBuilt(
+    std::vector<fsi::Query> built, Sink sink,
+    std::vector<ElemList>* results, std::vector<std::size_t>* counts,
+    const std::function<void(std::size_t, std::span<const Elem>)>* visit) {
+  const std::size_t n = built.size();
 
   stats_ = BatchStats{};
   stats_.num_queries = n;

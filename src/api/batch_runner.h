@@ -133,6 +133,20 @@ class BatchRunner {
       std::span<const BatchQuery> queries,
       const std::function<void(std::size_t, std::span<const Elem>)>& visit);
 
+  /// Expression batches: each entry is a boolean expression (api/expr.h)
+  /// over this engine's prepared sets, evaluated exactly as
+  /// Engine::Query(const Expr&) would evaluate it.  Validation and
+  /// optimization run serially on the calling thread (misuse throws
+  /// there); execution shares the worker pool, the atomic-cursor load
+  /// balancing, and the merged BatchStats of the flat overloads.  All
+  /// workers share the engine's ExprCache, so repeated subtrees across a
+  /// batch are memoized once.
+  std::vector<ElemList> Materialize(std::span<const Expr> queries);
+  std::vector<std::size_t> Count(std::span<const Expr> queries);
+  std::size_t Visit(
+      std::span<const Expr> queries,
+      const std::function<void(std::size_t, std::span<const Elem>)>& visit);
+
   /// Statistics of the most recent batch.
   const BatchStats& stats() const { return stats_; }
 
@@ -144,6 +158,16 @@ class BatchRunner {
 
   void Execute(
       std::span<const BatchQuery> queries, Sink sink,
+      std::vector<ElemList>* results, std::vector<std::size_t>* counts,
+      const std::function<void(std::size_t, std::span<const Elem>)>* visit);
+  void ExecuteExprs(
+      std::span<const Expr> queries, Sink sink,
+      std::vector<ElemList>* results, std::vector<std::size_t>* counts,
+      const std::function<void(std::size_t, std::span<const Elem>)>* visit);
+  /// Shared execution core: runs already-built queries on the pool and
+  /// merges per-thread accumulators into stats_.
+  void ExecuteBuilt(
+      std::vector<fsi::Query> built, Sink sink,
       std::vector<ElemList>* results, std::vector<std::size_t>* counts,
       const std::function<void(std::size_t, std::span<const Elem>)>* visit);
 

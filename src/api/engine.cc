@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/epoch.h"
+#include "api/expr.h"
 #include "api/planner.h"
 #include "api/registry.h"
 #include "baseline/plain_set.h"
@@ -118,6 +119,11 @@ void PreparedSet::WaitForCompaction() const {
 }
 
 QueryPlan Query::Explain() const {
+  if (expr_ != nullptr) {
+    expr_internal::EvalContext ctx{algorithm_.get(), planner_,
+                                   expr_cache_.get()};
+    return expr_internal::PlanExpr(*expr_, ctx);
+  }
   if (any_mutable_) {
     MutableQueryView mv = SnapshotMutableSets(sets_, cores_);
     QueryPlan plan = planner_ != nullptr ? planner_->Plan(mv.views)
@@ -150,6 +156,7 @@ ElemList Query::Materialize() {
 }
 
 QueryStats Query::ExecuteInto(ElemList* out) {
+  if (expr_ != nullptr) return ExecuteExprInto(out);
   if (any_mutable_) return ExecuteMutableInto(out);
   Timer timer;
   out->clear();
@@ -293,6 +300,9 @@ Engine::Engine(std::string_view spec, EngineOptions options)
       spec_(spec),
       seed_(options.seed) {
   ResolveCostInfo();
+  if (options.expr_cache_bytes > 0) {
+    expr_cache_ = std::make_shared<ExprCache>(options.expr_cache_bytes);
+  }
 }
 
 Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
@@ -305,6 +315,9 @@ Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
   }
   spec_ = std::string(algorithm_->name());
   ResolveCostInfo();
+  if (options.expr_cache_bytes > 0) {
+    expr_cache_ = std::make_shared<ExprCache>(options.expr_cache_bytes);
+  }
 }
 
 void Engine::ResolveCostInfo() {

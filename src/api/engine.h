@@ -54,6 +54,13 @@ namespace fsi {
 
 class PlannerAlgorithm;  // the cost-model planner (api/planner.h)
 class MutableSetCore;    // the mutable-set runtime (api/epoch.h)
+class Expr;              // boolean expression tree (api/expr.h)
+struct ExprNode;
+class ExprCache;  // memoized subexpression results (api/expr.h)
+
+namespace expr_internal {
+struct Access;  // the expression evaluator's keyhole (api/expr.cc)
+}  // namespace expr_internal
 
 namespace storage {
 class SnapshotWriter;  // snapshot container (storage/snapshot.h)
@@ -181,6 +188,7 @@ class PreparedSet {
 
  private:
   friend class Engine;
+  friend struct expr_internal::Access;
   PreparedSet(std::shared_ptr<const IntersectionAlgorithm> algorithm,
               std::shared_ptr<const PreprocessedSet> set)
       : algorithm_(std::move(algorithm)), set_(std::move(set)) {}
@@ -301,6 +309,23 @@ class Query {
   /// snapshot per set — concurrent mutations land in later runs.
   QueryStats ExecuteMutableInto(ElemList* out);
 
+  /// Expression-mode construction (Engine::Query(const Expr&)): the query
+  /// evaluates `expr` instead of a flat conjunction.  Defined with the
+  /// evaluator in api/expr.cc.
+  Query(std::shared_ptr<const IntersectionAlgorithm> algorithm,
+        std::shared_ptr<const ExprNode> expr, std::shared_ptr<ExprCache> cache,
+        const PlannerAlgorithm* planner, QueryStats base)
+      : algorithm_(std::move(algorithm)),
+        stats_(base),
+        planner_(planner),
+        expr_(std::move(expr)),
+        expr_cache_(std::move(cache)) {}
+
+  /// The terminal path for expression queries: evaluates the optimized
+  /// tree bottom-up (api/expr.cc) with one consistent snapshot per
+  /// mutable leaf and the engine's memoization cache.
+  QueryStats ExecuteExprInto(ElemList* out);
+
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   std::vector<const PreprocessedSet*> sets_;
   std::vector<std::shared_ptr<const PreprocessedSet>> retained_;
@@ -322,12 +347,20 @@ class Query {
   /// Explicit-spec engines only: the cost hook's base prediction, reused
   /// by mutable terminal runs (the hook itself stays with the Engine).
   double explicit_predicted_ = 0.0;
+  /// Expression mode (Engine::Query(const Expr&)): the optimized tree and
+  /// the engine's subexpression cache.  Null for flat queries.
+  std::shared_ptr<const ExprNode> expr_;
+  std::shared_ptr<ExprCache> expr_cache_;
 };
 
 /// Construction options for Engine.
 struct EngineOptions {
   std::uint64_t seed = kDefaultAlgorithmSeed;
   ValidationPolicy validation = ValidationPolicy::kDefault;
+  /// Byte budget of the expression-query memoization cache (api/expr.h):
+  /// subexpression results keyed on structural fingerprints, shared by
+  /// every query of this engine and its copies.  0 disables memoization.
+  std::size_t expr_cache_bytes = 16u << 20;
 };
 
 /// Options for Engine::LoadSnapshot.
@@ -427,6 +460,13 @@ class Engine {
   fsi::Query Query(std::span<const PreparedSet* const> sets) const;
   fsi::Query Query(std::span<const PreparedSet> sets) const;
 
+  /// Builds a query over a boolean expression tree (api/expr.h): And/Or/
+  /// Diff/AtLeast over prepared-set leaves.  The tree is optimized
+  /// (OptimizeExpr) at build; every leaf must be non-empty and built by
+  /// this engine.  All sinks and builders compose as with flat queries;
+  /// there is no arity limit.  Defined in api/expr.cc.
+  fsi::Query Query(const Expr& expr) const;
+
   /// Convenience one-shot: prepare and intersect plain lists.
   ElemList IntersectLists(std::span<const ElemList> lists) const;
 
@@ -476,6 +516,9 @@ class Engine {
 
   std::string_view algorithm_name() const { return algorithm_->name(); }
   const IntersectionAlgorithm& algorithm() const { return *algorithm_; }
+  /// The expression-query memoization cache (shared with Engine copies);
+  /// null when EngineOptions::expr_cache_bytes == 0.
+  const std::shared_ptr<ExprCache>& expr_cache() const { return expr_cache_; }
   /// Maximum query arity of the underlying algorithm.
   std::size_t max_query_sets() const { return algorithm_->max_query_sets(); }
   /// Whether Prepare() validates input (policy resolved per build type).
@@ -498,6 +541,9 @@ class Engine {
   const PlannerAlgorithm* planner_view_ = nullptr;
   /// The algorithm's registry cost hook (null when none is published).
   StepCostFn cost_hook_ = nullptr;
+  /// Memoized subexpression results for Query(const Expr&); shared across
+  /// Engine copies.  Null when disabled.
+  std::shared_ptr<ExprCache> expr_cache_;
 };
 
 struct LoadedSnapshot {

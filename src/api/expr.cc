@@ -1,0 +1,1126 @@
+#include "api/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/epoch.h"
+#include "api/planner.h"
+#include "baseline/plain_set.h"
+#include "baseline/svs.h"
+#include "core/delta_set.h"
+#include "core/threshold.h"
+#include "simd/intersect_kernels.h"
+#include "util/timer.h"
+
+namespace fsi {
+
+namespace expr_internal {
+
+/// The evaluator's keyhole into PreparedSet's shared ownership (the
+/// public surface deliberately hides the raw shared_ptrs).
+struct Access {
+  static const std::shared_ptr<const PreprocessedSet>& set(
+      const PreparedSet& s) {
+    return s.set_;
+  }
+  static const std::shared_ptr<MutableSetCore>& core(const PreparedSet& s) {
+    return s.core_;
+  }
+  static const std::shared_ptr<const IntersectionAlgorithm>& algorithm(
+      const PreparedSet& s) {
+    return s.algorithm_;
+  }
+};
+
+}  // namespace expr_internal
+
+namespace {
+
+using expr_internal::Access;
+
+std::shared_ptr<const ExprNode> MakeNode(ExprNode node) {
+  return std::make_shared<const ExprNode>(std::move(node));
+}
+
+void CheckChildren(const char* builder, const std::vector<Expr>& children,
+                   bool require_nonempty) {
+  if (require_nonempty && children.empty()) {
+    throw std::invalid_argument(std::string("Expr::") + builder +
+                                ": at least one child required");
+  }
+  for (const Expr& c : children) {
+    if (c.empty_handle()) {
+      throw std::invalid_argument(std::string("Expr::") + builder +
+                                  ": empty Expr handle among children");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural fingerprints.
+//
+// splitmix64-style mixing; 128 bits as two independent chains so that a
+// colliding pair would have to collide in both.  Leaf identity is the
+// owning shared object's address (structure for immutable handles, the
+// mutable core otherwise) — cache entries pin those objects, so a live
+// fingerprint can never alias a recycled address.  `with_versions` mixes
+// every mutable leaf's version in: the memoization key (a mutation makes
+// the old key unreachable); without versions the fingerprint is the
+// *structural* identity used for idempotent dedup.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + h;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+ExprKey MixKey(ExprKey h, std::uint64_t v) {
+  return ExprKey{Mix(h.hi, v), Mix(h.lo, v ^ 0xd6e8feb86659fd93ULL)};
+}
+
+/// Fingerprint of a subtree.  `version_of` supplies the version to mix in
+/// for mutable leaves (0 disables); the evaluator passes the version of
+/// the snapshot it actually took, so key and data always agree.
+template <typename VersionFn>
+ExprKey Fingerprint(const ExprNode* n, const VersionFn& version_of) {
+  ExprKey key{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  key = MixKey(key, static_cast<std::uint64_t>(n->kind));
+  switch (n->kind) {
+    case ExprKind::kSet: {
+      const PreparedSet& leaf = n->leaf;
+      const void* identity = leaf.is_mutable()
+                                 ? static_cast<const void*>(
+                                       Access::core(leaf).get())
+                                 : static_cast<const void*>(
+                                       Access::set(leaf).get());
+      key = MixKey(key, reinterpret_cast<std::uintptr_t>(identity));
+      if (leaf.is_mutable()) key = MixKey(key, version_of(leaf));
+      break;
+    }
+    case ExprKind::kAtLeast:
+      key = MixKey(key, n->threshold);
+      [[fallthrough]];
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kDiff:
+      for (const Expr& c : n->children) {
+        ExprKey ck = Fingerprint(c.node(), version_of);
+        key = MixKey(key, ck.hi);
+        key = MixKey(key, ck.lo);
+      }
+      break;
+    case ExprKind::kNone:
+      break;
+  }
+  return key;
+}
+
+ExprKey StructuralKey(const ExprNode* n) {
+  return Fingerprint(n, [](const PreparedSet&) { return std::uint64_t{0}; });
+}
+
+bool StructurallyEqual(const Expr& a, const Expr& b) {
+  if (a.node() == b.node()) return true;
+  return StructuralKey(a.node()) == StructuralKey(b.node());
+}
+
+// ---------------------------------------------------------------------------
+// The rewrite pass.  Helpers assume already-optimized inputs and return
+// optimized trees, so rewrites compose without re-walking.
+// ---------------------------------------------------------------------------
+
+Expr OptimizedNode(const Expr& e);
+Expr OptAnd(std::vector<Expr> children);
+Expr OptOr(std::vector<Expr> children);
+Expr OptDiff(Expr include, Expr exclude);
+Expr OptAtLeast(std::size_t threshold, std::vector<Expr> children);
+
+/// Order-preserving structural dedup (And/Or idempotence).
+void DedupChildren(std::vector<Expr>* children) {
+  std::vector<Expr> unique;
+  std::vector<ExprKey> keys;
+  unique.reserve(children->size());
+  for (Expr& c : *children) {
+    ExprKey key = StructuralKey(c.node());
+    bool seen = false;
+    for (const ExprKey& k : keys) {
+      if (k == key) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      keys.push_back(key);
+      unique.push_back(std::move(c));
+    }
+  }
+  children->swap(unique);
+}
+
+Expr OptAnd(std::vector<Expr> children) {
+  // Flatten nested Ands; None absorbs the conjunction.
+  std::vector<Expr> flat;
+  for (Expr& c : children) {
+    if (c.kind() == ExprKind::kNone) return Expr::None();
+    if (c.kind() == ExprKind::kAnd) {
+      for (std::size_t i = 0; i < c.num_children(); ++i) {
+        flat.push_back(c.child(i));
+      }
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  // Difference pushdown: ∩ᵢ xᵢ ∩ ∩ⱼ (aⱼ \ bⱼ)  ==  (∩ xᵢ ∩ ∩ aⱼ) \ ∪ bⱼ.
+  std::vector<Expr> positives;
+  std::vector<Expr> negatives;
+  for (Expr& c : flat) {
+    if (c.kind() == ExprKind::kDiff) {
+      positives.push_back(c.child(0));
+      negatives.push_back(c.child(1));
+    } else {
+      positives.push_back(std::move(c));
+    }
+  }
+  // Diff includes may themselves be conjunctions — re-flatten once.
+  std::vector<Expr> expanded;
+  for (Expr& p : positives) {
+    if (p.kind() == ExprKind::kAnd) {
+      for (std::size_t i = 0; i < p.num_children(); ++i) {
+        expanded.push_back(p.child(i));
+      }
+    } else {
+      expanded.push_back(std::move(p));
+    }
+  }
+  DedupChildren(&expanded);
+  Expr conjunction =
+      expanded.size() == 1 ? std::move(expanded[0]) : Expr::And(expanded);
+  if (negatives.empty()) return conjunction;
+  return OptDiff(std::move(conjunction), OptOr(std::move(negatives)));
+}
+
+Expr OptOr(std::vector<Expr> children) {
+  std::vector<Expr> flat;
+  for (Expr& c : children) {
+    if (c.kind() == ExprKind::kNone) continue;  // ∅ drops out of a union
+    if (c.kind() == ExprKind::kOr) {
+      for (std::size_t i = 0; i < c.num_children(); ++i) {
+        flat.push_back(c.child(i));
+      }
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return Expr::None();
+  DedupChildren(&flat);
+  if (flat.size() == 1) return flat[0];
+  return Expr::Or(std::move(flat));
+}
+
+Expr OptDiff(Expr include, Expr exclude) {
+  if (include.kind() == ExprKind::kNone) return Expr::None();
+  if (exclude.kind() == ExprKind::kNone) return include;
+  if (StructurallyEqual(include, exclude)) return Expr::None();
+  if (include.kind() == ExprKind::kDiff) {
+    // (a \ b) \ c == a \ (b ∪ c): one subtraction at the top.
+    Expr a = include.child(0);
+    Expr merged = OptOr({include.child(1), std::move(exclude)});
+    return OptDiff(std::move(a), std::move(merged));
+  }
+  return Expr::Diff(std::move(include), std::move(exclude));
+}
+
+Expr OptAtLeast(std::size_t threshold, std::vector<Expr> children) {
+  // An empty operand can never contribute to an element's count, so it
+  // leaves both the census and the threshold unchanged when dropped.
+  std::vector<Expr> live;
+  for (Expr& c : children) {
+    if (c.kind() != ExprKind::kNone) live.push_back(std::move(c));
+  }
+  if (threshold > live.size()) return Expr::None();
+  if (threshold == live.size()) return OptAnd(std::move(live));
+  if (threshold == 1) return OptOr(std::move(live));
+  return Expr::AtLeast(threshold, std::move(live));
+}
+
+Expr OptimizedNode(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kNone:
+      return e;
+    case ExprKind::kSet:
+      // A *mutable* empty leaf can grow later — never fold it.
+      if (!e.leaf().is_mutable() && e.leaf().size() == 0) return Expr::None();
+      return e;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kAtLeast: {
+      std::vector<Expr> children;
+      children.reserve(e.num_children());
+      for (std::size_t i = 0; i < e.num_children(); ++i) {
+        children.push_back(OptimizedNode(e.child(i)));
+      }
+      if (e.kind() == ExprKind::kAnd) return OptAnd(std::move(children));
+      if (e.kind() == ExprKind::kOr) return OptOr(std::move(children));
+      return OptAtLeast(e.threshold(), std::move(children));
+    }
+    case ExprKind::kDiff:
+      return OptDiff(OptimizedNode(e.child(0)), OptimizedNode(e.child(1)));
+  }
+  return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Expr builders.
+// ---------------------------------------------------------------------------
+
+std::string_view ToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kSet:
+      return "set";
+    case ExprKind::kAnd:
+      return "and";
+    case ExprKind::kOr:
+      return "or";
+    case ExprKind::kDiff:
+      return "diff";
+    case ExprKind::kAtLeast:
+      return "at-least";
+    case ExprKind::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+Expr Expr::Set(const PreparedSet& set) {
+  if (set.empty_handle()) {
+    throw std::invalid_argument("Expr::Set: empty PreparedSet handle");
+  }
+  ExprNode node;
+  node.kind = ExprKind::kSet;
+  node.leaf = set;
+  return Expr(MakeNode(std::move(node)));
+}
+
+Expr Expr::And(std::vector<Expr> children) {
+  CheckChildren("And", children, /*require_nonempty=*/true);
+  ExprNode node;
+  node.kind = ExprKind::kAnd;
+  node.children = std::move(children);
+  return Expr(MakeNode(std::move(node)));
+}
+
+Expr Expr::Or(std::vector<Expr> children) {
+  CheckChildren("Or", children, /*require_nonempty=*/true);
+  ExprNode node;
+  node.kind = ExprKind::kOr;
+  node.children = std::move(children);
+  return Expr(MakeNode(std::move(node)));
+}
+
+Expr Expr::Diff(Expr include, Expr exclude) {
+  if (include.empty_handle() || exclude.empty_handle()) {
+    throw std::invalid_argument("Expr::Diff: empty Expr handle");
+  }
+  ExprNode node;
+  node.kind = ExprKind::kDiff;
+  node.children.push_back(std::move(include));
+  node.children.push_back(std::move(exclude));
+  return Expr(MakeNode(std::move(node)));
+}
+
+Expr Expr::AtLeast(std::size_t threshold, std::vector<Expr> children) {
+  if (threshold == 0) {
+    throw std::invalid_argument(
+        "Expr::AtLeast: threshold must be >= 1 (t = 0 would be the whole "
+        "universe, which prepared sets cannot represent)");
+  }
+  CheckChildren("AtLeast", children, /*require_nonempty=*/true);
+  ExprNode node;
+  node.kind = ExprKind::kAtLeast;
+  node.threshold = threshold;
+  node.children = std::move(children);
+  return Expr(MakeNode(std::move(node)));
+}
+
+Expr Expr::None() {
+  ExprNode node;
+  node.kind = ExprKind::kNone;
+  return Expr(MakeNode(std::move(node)));
+}
+
+std::size_t Expr::num_leaves() const {
+  if (node_ == nullptr) return 0;
+  if (node_->kind == ExprKind::kSet) return 1;
+  std::size_t total = 0;
+  for (const Expr& c : node_->children) total += c.num_leaves();
+  return total;
+}
+
+std::string Expr::ToString() const {
+  if (node_ == nullptr) return "<empty>";
+  std::ostringstream os;
+  os << fsi::ToString(node_->kind);
+  if (node_->kind == ExprKind::kAtLeast) os << '(' << node_->threshold << ')';
+  if (!node_->children.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < node_->children.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << node_->children[i].ToString();
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+Expr OptimizeExpr(const Expr& expr) {
+  if (expr.empty_handle()) {
+    throw std::invalid_argument("OptimizeExpr: empty Expr handle");
+  }
+  return OptimizedNode(expr);
+}
+
+// ---------------------------------------------------------------------------
+// ExprCache.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Bookkeeping overhead per entry (list/map nodes, pins) — keeps the
+/// byte bound honest for many tiny results.
+constexpr std::size_t kEntryOverheadBytes = 128;
+}  // namespace
+
+std::shared_ptr<const ElemList> ExprCache::Lookup(const ExprKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->elems;
+}
+
+void ExprCache::Insert(const ExprKey& key,
+                       std::shared_ptr<const ElemList> elems,
+                       std::vector<std::shared_ptr<const void>> pins) {
+  const std::size_t bytes =
+      elems->size() * sizeof(Elem) + pins.size() * sizeof(void*) +
+      kEntryOverheadBytes;
+  if (bytes > max_bytes_) return;  // larger than the whole cache
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with another worker computing the same node: keep the
+    // incumbent (bitwise-identical by construction), refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(elems), std::move(pins), bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++stats_.insertions;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ExprCacheStats ExprCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ExprCacheStats out = stats_;
+  out.entries = index_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void ExprCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+// ---------------------------------------------------------------------------
+
+namespace expr_internal {
+namespace {
+
+/// Sorted k-way count-merge: emits every element present in at least
+/// `threshold` of the lists (counted with multiplicity).  The generic
+/// AtLeast path; the all-leaf grouped path runs core/threshold.h instead.
+void AtLeastMerge(const std::vector<std::span<const Elem>>& lists,
+                  std::size_t threshold, ElemList* out) {
+  std::vector<std::size_t> pos(lists.size(), 0);
+  for (;;) {
+    bool any = false;
+    Elem head = 0;
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      if (pos[i] < lists[i].size()) {
+        if (!any || lists[i][pos[i]] < head) head = lists[i][pos[i]];
+        any = true;
+      }
+    }
+    if (!any) break;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      if (pos[i] < lists[i].size() && lists[i][pos[i]] == head) {
+        ++count;
+        ++pos[i];
+      }
+    }
+    if (count >= threshold) out->push_back(head);
+  }
+}
+
+/// Sorted union of two lists into *out (cleared).
+void UnionPair(std::span<const Elem> a, std::span<const Elem> b,
+               ElemList* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
+}
+
+/// The sorted element view of an immutable structure, when it exposes one.
+std::optional<std::span<const Elem>> StructureElems(
+    const PreprocessedSet* set) {
+  if (const auto* planned = dynamic_cast<const PlannedSet*>(set)) {
+    return planned->elems();
+  }
+  if (const auto* plain = dynamic_cast<const PlainSet*>(set)) {
+    return plain->elems();
+  }
+  return std::nullopt;
+}
+
+class Evaluator {
+ public:
+  Evaluator(const EvalContext& ctx, EvalStats* stats)
+      : ctx_(ctx),
+        stats_(stats),
+        constants_(ctx.planner != nullptr ? ctx.planner->constants()
+                                          : CostConstants{}),
+        kernels_(simd::DispatchedKernels()) {}
+
+  void Run(const ExprNode* root, ElemList* out) {
+    PrepareLeaves(root);
+    const NodeState& result = Eval(root);
+    out->assign(result.view.begin(), result.view.end());
+  }
+
+ private:
+  struct NodeState {
+    ExprKey key;
+    std::optional<MutableSetState> snapshot;  // mutable leaves only
+    bool evaluated = false;
+    std::span<const Elem> view;
+    /// Keeps `view` alive: the leaf structure, the snapshot base array,
+    /// or the owned/cached result vector.
+    std::shared_ptr<const void> owner;
+    std::shared_ptr<const ElemList> owned;  // set when materialized
+  };
+
+  /// Phase A: snapshot every mutable leaf once (so fingerprints and data
+  /// agree for the whole run — the key mixes the version of the snapshot
+  /// this run actually evaluates, not the live version a concurrent
+  /// writer may have advanced) and collect the ownership pins cache
+  /// entries must retain.  Returns the node's memoization key.
+  const ExprKey& PrepareLeaves(const ExprNode* n) {
+    if (auto it = states_.find(n); it != states_.end()) {
+      return it->second->key;  // shared subtree: one snapshot, one key
+    }
+    auto state = std::make_unique<NodeState>();
+    ExprKey key{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+    key = MixKey(key, static_cast<std::uint64_t>(n->kind));
+    if (n->kind == ExprKind::kSet) {
+      if (n->leaf.is_mutable()) {
+        state->snapshot = Access::core(n->leaf)->Snapshot();
+        pins_.push_back(Access::core(n->leaf));
+        key = MixKey(key, reinterpret_cast<std::uintptr_t>(
+                              Access::core(n->leaf).get()));
+        key = MixKey(key, state->snapshot->version);
+      } else {
+        pins_.push_back(Access::set(n->leaf));
+        key = MixKey(key, reinterpret_cast<std::uintptr_t>(
+                              Access::set(n->leaf).get()));
+      }
+    }
+    if (n->kind == ExprKind::kAtLeast) key = MixKey(key, n->threshold);
+    for (const Expr& c : n->children) {
+      const ExprKey child_key = PrepareLeaves(c.node());
+      key = MixKey(key, child_key.hi);
+      key = MixKey(key, child_key.lo);
+    }
+    state->key = key;
+    NodeState* inserted = state.get();
+    states_.emplace(n, std::move(state));
+    return inserted->key;
+  }
+
+  const NodeState& Eval(const ExprNode* n) {
+    NodeState& state = *states_.at(n);
+    if (state.evaluated) return state;
+    switch (n->kind) {
+      case ExprKind::kNone:
+        break;
+      case ExprKind::kSet:
+        EvalLeaf(n, &state);
+        break;
+      default:
+        EvalComposite(n, &state);
+        break;
+    }
+    state.evaluated = true;
+    return state;
+  }
+
+  void EvalLeaf(const ExprNode* n, NodeState* state) {
+    const PreparedSet& leaf = n->leaf;
+    if (state->snapshot) {
+      const MutableSetState& snap = *state->snapshot;
+      stats_->elements_scanned += snap.base->size() + snap.delta.size();
+      if (snap.delta.empty()) {
+        state->view = std::span<const Elem>(*snap.base);
+        state->owner = snap.base;
+      } else {
+        auto merged = std::make_shared<const ElemList>(
+            MergeEffective(*snap.base, snap.delta));
+        state->view = std::span<const Elem>(*merged);
+        state->owner = merged;
+        state->owned = merged;
+      }
+      return;
+    }
+    const PreprocessedSet* raw = Access::set(leaf).get();
+    stats_->elements_scanned += raw->size();
+    if (std::optional<std::span<const Elem>> elems = StructureElems(raw)) {
+      state->view = *elems;
+      state->owner = Access::set(leaf);
+      return;
+    }
+    // Opaque structure (e.g. a grouped or compressed form): materialize
+    // the sorted elements through the algorithm's own k = 1 path.
+    ElemList elems;
+    const PreprocessedSet* one[1] = {raw};
+    ctx_.algorithm->Intersect(std::span<const PreprocessedSet* const>(one, 1),
+                              &elems);
+    auto owned = std::make_shared<const ElemList>(std::move(elems));
+    state->view = std::span<const Elem>(*owned);
+    state->owner = owned;
+    state->owned = owned;
+  }
+
+  void EvalComposite(const ExprNode* n, NodeState* state) {
+    if (ctx_.cache != nullptr) {
+      if (std::shared_ptr<const ElemList> cached =
+              ctx_.cache->Lookup(state->key)) {
+        ++stats_->cache_hits;
+        state->view = std::span<const Elem>(*cached);
+        state->owner = cached;
+        state->owned = std::move(cached);
+        return;
+      }
+      ++stats_->cache_misses;
+    }
+    ElemList result;
+    switch (n->kind) {
+      case ExprKind::kAnd:
+        EvalAnd(n, &result);
+        break;
+      case ExprKind::kOr:
+        EvalOr(n, &result);
+        break;
+      case ExprKind::kDiff:
+        EvalDiff(n, &result);
+        break;
+      case ExprKind::kAtLeast:
+        EvalAtLeast(n, &result);
+        break;
+      default:
+        break;
+    }
+    auto owned = std::make_shared<const ElemList>(std::move(result));
+    state->view = std::span<const Elem>(*owned);
+    state->owner = owned;
+    state->owned = owned;
+    if (ctx_.cache != nullptr) {
+      ctx_.cache->Insert(state->key, state->owned, pins_);
+    }
+  }
+
+  /// All children are immutable leaves — the native k-way engine path
+  /// applies (full per-step cost-model plan on a planner engine).
+  bool NativeConjunction(const ExprNode* n, ElemList* out) {
+    std::vector<const PreprocessedSet*> views;
+    views.reserve(n->children.size());
+    for (const Expr& c : n->children) {
+      if (c.kind() != ExprKind::kSet || c.leaf().is_mutable()) return false;
+      views.push_back(Access::set(c.leaf()).get());
+    }
+    if (ctx_.planner != nullptr) {
+      QueryPlan plan = ctx_.planner->Plan(views);
+      stats_->predicted_micros += plan.predicted_micros;
+      ctx_.planner->ExecutePlan(views, plan, /*ordered=*/true, out);
+      return true;
+    }
+    if (views.size() <= ctx_.algorithm->max_query_sets()) {
+      ctx_.algorithm->Intersect(views, out);
+      return true;
+    }
+    return false;  // wider than the native arity: pairwise chain below
+  }
+
+  void EvalAnd(const ExprNode* n, ElemList* out) {
+    if (NativeConjunction(n, out)) return;
+    // Smallest-first pairwise chain over the materialized children,
+    // choosing merge vs gallop per step from the calibrated constants —
+    // the planner's mixed-chain logic applied to arbitrary subresults.
+    std::vector<std::span<const Elem>> lists = ChildViews(n);
+    std::sort(lists.begin(), lists.end(),
+              [](std::span<const Elem> a, std::span<const Elem> b) {
+                return a.size() < b.size();
+              });
+    if (lists.front().empty()) return;
+    out->assign(lists[0].begin(), lists[0].end());
+    ElemList next;
+    for (std::size_t i = 1; i < lists.size() && !out->empty(); ++i) {
+      const double small = static_cast<double>(out->size());
+      const double large = static_cast<double>(lists[i].size());
+      const double merge_cost = constants_.merge_ns * (small + large);
+      const double gallop_cost =
+          constants_.gallop_ns * small *
+          std::log2(2.0 + large / std::max(1.0, small));
+      next.clear();
+      if (gallop_cost < merge_cost) {
+        GallopEliminate(kernels_, *out, lists[i], &next);
+      } else {
+        kernels_.intersect_pair(out->data(), out->size(), lists[i].data(),
+                                lists[i].size(), &next);
+      }
+      stats_->predicted_micros += std::min(merge_cost, gallop_cost) * 1e-3;
+      out->swap(next);
+    }
+  }
+
+  void EvalOr(const ExprNode* n, ElemList* out) {
+    std::vector<std::span<const Elem>> lists = ChildViews(n);
+    // Smallest-first folding keeps intermediate unions small.
+    std::sort(lists.begin(), lists.end(),
+              [](std::span<const Elem> a, std::span<const Elem> b) {
+                return a.size() < b.size();
+              });
+    out->assign(lists[0].begin(), lists[0].end());
+    ElemList next;
+    for (std::size_t i = 1; i < lists.size(); ++i) {
+      stats_->predicted_micros +=
+          constants_.merge_ns *
+          static_cast<double>(out->size() + lists[i].size()) * 1e-3;
+      UnionPair(*out, lists[i], &next);
+      out->swap(next);
+    }
+  }
+
+  void EvalDiff(const ExprNode* n, ElemList* out) {
+    const NodeState& include = Eval(n->children[0].node());
+    const NodeState& exclude = Eval(n->children[1].node());
+    out->assign(include.view.begin(), include.view.end());
+    stats_->predicted_micros +=
+        constants_.merge_ns *
+        static_cast<double>(include.view.size() + exclude.view.size()) * 1e-3;
+    if (!out->empty() && !exclude.view.empty()) {
+      SubtractSortedInPlace(out, exclude.view, kernels_);
+    }
+  }
+
+  void EvalAtLeast(const ExprNode* n, ElemList* out) {
+    const std::size_t k = n->children.size();
+    const std::size_t t = n->threshold;
+    if (t > k) return;  // always empty (unoptimized trees reach here)
+    if (EvalAtLeastGrouped(n, out)) return;
+    std::vector<std::span<const Elem>> lists = ChildViews(n);
+    std::size_t total = 0;
+    for (std::span<const Elem> l : lists) total += l.size();
+    stats_->predicted_micros +=
+        constants_.merge_ns * static_cast<double>(total) *
+        std::log2(static_cast<double>(k) + 1.0) * 1e-3;
+    AtLeastMerge(lists, t, out);
+  }
+
+  /// The Section 6 t-threshold fast path: all children are immutable
+  /// leaves whose grouped (ScanSet) structures share one permutation —
+  /// planner engines (PlannedSet carries a scan form) and explicit
+  /// RanGroupScan engines.  Count-merges the g-ordered arrays with
+  /// group-census pruning (core/threshold.h).
+  bool EvalAtLeastGrouped(const ExprNode* n, ElemList* out) {
+    const RanGroupScanIntersection* scan_algorithm = nullptr;
+    if (ctx_.planner != nullptr) {
+      scan_algorithm = &ctx_.planner->scan_algorithm();
+    } else {
+      scan_algorithm =
+          dynamic_cast<const RanGroupScanIntersection*>(ctx_.algorithm);
+    }
+    if (scan_algorithm == nullptr) return false;
+    std::vector<const PreprocessedSet*> scans;
+    scans.reserve(n->children.size());
+    std::size_t total = 0;
+    for (const Expr& c : n->children) {
+      if (c.kind() != ExprKind::kSet || c.leaf().is_mutable()) return false;
+      const PreprocessedSet* raw = Access::set(c.leaf()).get();
+      if (const auto* planned = dynamic_cast<const PlannedSet*>(raw)) {
+        scans.push_back(planned->scan());
+      } else if (dynamic_cast<const ScanSet*>(raw) != nullptr) {
+        scans.push_back(raw);
+      } else {
+        return false;
+      }
+      total += raw->size();
+    }
+    stats_->predicted_micros +=
+        (constants_.scan_ns * static_cast<double>(total)) * 1e-3;
+    ThresholdIntersection threshold(scan_algorithm);
+    *out = threshold.AtLeast(scans, n->threshold);
+    return true;
+  }
+
+  std::vector<std::span<const Elem>> ChildViews(const ExprNode* n) {
+    std::vector<std::span<const Elem>> lists;
+    lists.reserve(n->children.size());
+    for (const Expr& c : n->children) lists.push_back(Eval(c.node()).view);
+    return lists;
+  }
+
+  const EvalContext& ctx_;
+  EvalStats* stats_;
+  const CostConstants constants_;
+  const simd::Kernels& kernels_;
+  std::unordered_map<const ExprNode*, std::unique_ptr<NodeState>> states_;
+  std::vector<std::shared_ptr<const void>> pins_;
+};
+
+}  // namespace
+
+void Evaluate(const ExprNode& root, const EvalContext& ctx, EvalStats* stats,
+              ElemList* out) {
+  out->clear();
+  Evaluator evaluator(ctx, stats);
+  evaluator.Run(&root, out);
+}
+
+// ---------------------------------------------------------------------------
+// Explain: per-node cardinality estimates + algorithm annotations, no
+// execution.  Estimates use the planner's uniform-density model extended
+// to the algebra: with U the observed universe and p_i = n_i / U,
+//   And  -> U * prod p_i          Or  -> U * (1 - prod (1 - p_i))
+//   Diff -> n_l * (1 - p_r)       AtLeast -> U * P(Binom-sum >= t)
+// where the threshold tail is the exact Poisson-binomial DP over the
+// children's densities.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Largest element bound observed across the leaves (exclusive); the
+/// density denominator.  Falls back to set sizes for opaque structures
+/// and 2^32 when nothing is known.
+void MaxLeafBound(const ExprNode* n, double* bound) {
+  if (n->kind == ExprKind::kSet) {
+    const PreparedSet& leaf = n->leaf;
+    if (leaf.is_mutable()) {
+      MutableSetState snap = Access::core(leaf)->Snapshot();
+      if (!snap.base->empty()) {
+        *bound = std::max(*bound, static_cast<double>(snap.base->back()) + 1);
+      }
+      std::span<const Elem> inserts = snap.delta.insert_span();
+      if (!inserts.empty()) {
+        *bound = std::max(*bound, static_cast<double>(inserts.back()) + 1);
+      }
+    } else if (std::optional<std::span<const Elem>> elems =
+                   StructureElems(Access::set(leaf).get());
+               elems && !elems->empty()) {
+      *bound = std::max(*bound, static_cast<double>(elems->back()) + 1);
+    } else {
+      *bound = std::max(*bound,
+                        static_cast<double>(Access::set(leaf).get()->size()));
+    }
+  }
+  for (const Expr& c : n->children) MaxLeafBound(c.node(), bound);
+}
+
+class ExprPlanner {
+ public:
+  ExprPlanner(const EvalContext& ctx, double universe)
+      : ctx_(ctx),
+        constants_(ctx.planner != nullptr ? ctx.planner->constants()
+                                          : CostConstants{}),
+        universe_(universe) {}
+
+  double predicted() const { return predicted_; }
+
+  double Render(const ExprNode* n, int depth, std::string* out) {
+    std::string children_text;
+    std::vector<double> ests;
+    ests.reserve(n->children.size());
+    for (const Expr& c : n->children) {
+      ests.push_back(Render(c.node(), depth + 1, &children_text));
+    }
+    std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+    double est = 0.0;
+    char buf[96];
+    switch (n->kind) {
+      case ExprKind::kSet: {
+        est = static_cast<double>(n->leaf.size());
+        std::snprintf(buf, sizeof(buf), "set  n=%zu", n->leaf.size());
+        line += buf;
+        if (n->leaf.is_mutable()) {
+          std::snprintf(buf, sizeof(buf), "  (mutable v%llu)",
+                        static_cast<unsigned long long>(n->leaf.version()));
+          line += buf;
+        }
+        break;
+      }
+      case ExprKind::kNone:
+        line += "none  est~0";
+        break;
+      case ExprKind::kAnd: {
+        std::string annotation;
+        est = EstimateAnd(n, ests, &annotation);
+        std::snprintf(buf, sizeof(buf), "and [%s]  est~%.0f",
+                      annotation.c_str(), est);
+        line += buf;
+        break;
+      }
+      case ExprKind::kOr: {
+        est = EstimateOr(ests);
+        std::snprintf(buf, sizeof(buf), "or  est~%.0f", est);
+        line += buf;
+        break;
+      }
+      case ExprKind::kDiff: {
+        est = ests[0] * (1.0 - Density(ests[1]));
+        predicted_ += constants_.merge_ns * (ests[0] + ests[1]) * 1e-3;
+        std::snprintf(buf, sizeof(buf), "diff  est~%.0f", est);
+        line += buf;
+        break;
+      }
+      case ExprKind::kAtLeast: {
+        std::string annotation;
+        est = EstimateAtLeast(n, ests, &annotation);
+        std::snprintf(buf, sizeof(buf), "at-least %zu/%zu [%s]  est~%.0f",
+                      n->threshold, n->children.size(), annotation.c_str(),
+                      est);
+        line += buf;
+        break;
+      }
+    }
+    *out += line;
+    *out += '\n';
+    *out += children_text;
+    return est;
+  }
+
+ private:
+  double Density(double est) const {
+    return std::min(1.0, est / universe_);
+  }
+
+  bool AllImmutableLeaves(const ExprNode* n,
+                          std::vector<const PreprocessedSet*>* views) const {
+    for (const Expr& c : n->children) {
+      if (c.kind() != ExprKind::kSet || c.leaf().is_mutable()) return false;
+      if (views != nullptr) views->push_back(Access::set(c.leaf()).get());
+    }
+    return true;
+  }
+
+  double EstimateAnd(const ExprNode* n, const std::vector<double>& ests,
+                     std::string* annotation) {
+    std::vector<const PreprocessedSet*> views;
+    views.reserve(n->children.size());
+    if (AllImmutableLeaves(n, &views)) {
+      if (ctx_.planner != nullptr) {
+        // Exact plan: the same Plan() the evaluator will execute.
+        QueryPlan plan = ctx_.planner->Plan(views);
+        predicted_ += plan.predicted_micros;
+        *annotation = plan.steps.empty()
+                          ? "native"
+                          : (plan.uniform ? plan.steps[0].algorithm : "mixed");
+        return plan.est_result;
+      }
+      if (views.size() <= ctx_.algorithm->max_query_sets()) {
+        *annotation = std::string(ctx_.algorithm->name());
+        return ChainEstimate(ests);
+      }
+    }
+    *annotation = "chain";
+    return ChainEstimate(ests);
+  }
+
+  /// Smallest-first merge/gallop chain estimate (the evaluator's
+  /// non-native path), density-corrected per step.
+  double ChainEstimate(std::vector<double> ests) {
+    std::sort(ests.begin(), ests.end());
+    double running = ests[0];
+    for (std::size_t i = 1; i < ests.size(); ++i) {
+      const double merge_cost = constants_.merge_ns * (running + ests[i]);
+      const double gallop_cost =
+          constants_.gallop_ns * running *
+          std::log2(2.0 + ests[i] / std::max(1.0, running));
+      predicted_ += std::min(merge_cost, gallop_cost) * 1e-3;
+      running *= Density(ests[i]);
+    }
+    return running;
+  }
+
+  double EstimateOr(std::vector<double> ests) {
+    std::sort(ests.begin(), ests.end());
+    double miss = 1.0;  // P(element in none of the children)
+    double running = 0.0;
+    for (std::size_t i = 0; i < ests.size(); ++i) {
+      if (i > 0) {
+        predicted_ += constants_.merge_ns * (running + ests[i]) * 1e-3;
+      }
+      miss *= 1.0 - Density(ests[i]);
+      running = universe_ * (1.0 - miss);
+    }
+    return running;
+  }
+
+  double EstimateAtLeast(const ExprNode* n, const std::vector<double>& ests,
+                         std::string* annotation) {
+    const std::size_t k = n->children.size();
+    const std::size_t t = n->threshold;
+    double total = 0.0;
+    for (double e : ests) total += e;
+    if (t > k) {
+      *annotation = "empty";
+      return 0.0;
+    }
+    // Exact Poisson-binomial tail over the children's densities.
+    std::vector<double> dp(k + 1, 0.0);
+    dp[0] = 1.0;
+    for (double e : ests) {
+      const double p = Density(e);
+      for (std::size_t j = k; j >= 1; --j) {
+        dp[j] = dp[j] * (1.0 - p) + dp[j - 1] * p;
+      }
+      dp[0] *= 1.0 - p;
+    }
+    double tail = 0.0;
+    for (std::size_t j = t; j <= k; ++j) tail += dp[j];
+    const double est = universe_ * tail;
+    const bool grouped =
+        (ctx_.planner != nullptr ||
+         dynamic_cast<const RanGroupScanIntersection*>(ctx_.algorithm) !=
+             nullptr) &&
+        AllImmutableLeaves(n, nullptr);
+    if (grouped) {
+      *annotation = "threshold";
+      predicted_ +=
+          (constants_.scan_ns * total + constants_.scan_result_ns * est) *
+          1e-3;
+    } else {
+      *annotation = "count-merge";
+      predicted_ += constants_.merge_ns * total *
+                    std::log2(static_cast<double>(k) + 1.0) * 1e-3;
+    }
+    return est;
+  }
+
+  const EvalContext& ctx_;
+  const CostConstants constants_;
+  const double universe_;
+  double predicted_ = 0.0;
+};
+
+}  // namespace
+
+QueryPlan PlanExpr(const ExprNode& root, const EvalContext& ctx) {
+  double universe = 0.0;
+  MaxLeafBound(&root, &universe);
+  if (universe < 1.0) universe = 4294967296.0;  // no sized leaf: full domain
+  ExprPlanner planner(ctx, universe);
+  QueryPlan plan;
+  plan.est_result = planner.Render(&root, 0, &plan.tree);
+  plan.predicted_micros = planner.predicted();
+  plan.planned = ctx.planner != nullptr;
+  return plan;
+}
+
+}  // namespace expr_internal
+
+// ---------------------------------------------------------------------------
+// Engine / Query glue.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Foreign-leaf validation runs on the *unoptimized* tree: constant
+/// folding must not hide a cross-engine handle.
+void CheckExprLeaves(const ExprNode* n,
+                     const IntersectionAlgorithm* algorithm) {
+  if (n->kind == ExprKind::kSet &&
+      Access::algorithm(n->leaf).get() != algorithm) {
+    throw std::invalid_argument(
+        "Engine(" + std::string(algorithm->name()) +
+        "): Expr leaf was built by a different engine (algorithm '" +
+        std::string(n->leaf.algorithm_name()) +
+        "'); structures are not interchangeable across engines");
+  }
+  for (const Expr& c : n->children) CheckExprLeaves(c.node(), algorithm);
+}
+
+std::size_t SumLeafSizes(const ExprNode* n) {
+  if (n->kind == ExprKind::kSet) return n->leaf.size();
+  std::size_t total = 0;
+  for (const Expr& c : n->children) total += SumLeafSizes(c.node());
+  return total;
+}
+
+}  // namespace
+
+fsi::Query Engine::Query(const Expr& expr) const {
+  if (expr.empty_handle()) {
+    throw std::invalid_argument(std::string(algorithm_->name()) +
+                                ": query over an empty Expr handle");
+  }
+  CheckExprLeaves(expr.node(), algorithm_.get());
+  Expr optimized = OptimizeExpr(expr);
+  QueryStats base;
+  base.num_sets = optimized.num_leaves();
+  base.elements_scanned = SumLeafSizes(optimized.node());
+  expr_internal::EvalContext ctx{algorithm_.get(), planner_view_,
+                                 expr_cache_.get()};
+  base.predicted_micros =
+      expr_internal::PlanExpr(*optimized.node(), ctx).predicted_micros;
+  return fsi::Query(algorithm_, optimized.shared_node(), expr_cache_,
+                    planner_view_, base);
+}
+
+QueryStats Query::ExecuteExprInto(ElemList* out) {
+  Timer timer;
+  expr_internal::EvalContext ctx{algorithm_.get(), planner_,
+                                 expr_cache_.get()};
+  expr_internal::EvalStats eval_stats;
+  // Always sorted — which satisfies the Unordered() contract too
+  // (unspecified order includes ascending).
+  expr_internal::Evaluate(*expr_, ctx, &eval_stats, out);
+  if (limit_ < out->size()) out->resize(limit_);
+  stats_.elements_scanned = eval_stats.elements_scanned;
+  stats_.result_size = out->size();
+  stats_.wall_micros = timer.ElapsedMillis() * 1000.0;
+  return stats_;
+}
+
+}  // namespace fsi

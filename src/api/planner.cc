@@ -227,6 +227,16 @@ const PlannerCalibration& PlannerCalibration::Process() {
 std::string QueryPlan::ToString() const {
   char buf[160];
   std::string out;
+  if (!tree.empty()) {
+    // Expression query (Engine::Query(const Expr&)): the rendered tree is
+    // the whole story — there is no flat set order.
+    std::snprintf(buf, sizeof(buf),
+                  "expression plan: predicted %.1f us  est result: %.0f\n",
+                  predicted_micros, est_result);
+    out = buf;
+    out += tree;
+    return out;
+  }
   if (!planned) {
     out = "plan: explicit algorithm";
     if (!steps.empty()) out += " '" + steps[0].algorithm + "'";

@@ -127,6 +127,10 @@ struct QueryPlan {
   /// True when the plan came from the planner; false for the single-step
   /// pseudo-plan synthesized for an explicit-spec engine.
   bool planned = false;
+  /// Expression queries only (Engine::Query(const Expr&)): the rendered
+  /// expression tree with per-node cardinality estimates and algorithm
+  /// annotations (api/expr.h).  Empty for flat conjunctive plans.
+  std::string tree;
 
   /// Human-readable rendering (the intersect_cli --explain output).
   std::string ToString() const;
@@ -221,6 +225,10 @@ class PlannerAlgorithm : public IntersectionAlgorithm {
 
   /// The machine constants this instance plans with.
   const CostConstants& constants() const { return constants_; }
+  /// The internal RanGroupScan instance whose permutation every
+  /// PlannedSet's scan structure shares — the t-of-k threshold fast path
+  /// (api/expr.h, core/threshold.h) count-merges through it.
+  const RanGroupScanIntersection& scan_algorithm() const { return scan_; }
   /// Where the constants came from ("default", "measured", "json",
   /// "explicit" or "snapshot").
   std::string_view calibration_source() const { return calibration_source_; }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "api/expr.h"
 #include "storage/layout.h"
 #include "storage/mapped_file.h"
 #include "storage/snapshot.h"
@@ -136,6 +137,71 @@ std::size_t InvertedIndex::CountMatching(
   std::vector<const PreparedSet*> sets;
   if (!Resolve(terms, &sets)) return 0;
   return engine_.Query(sets).Unordered().Count();
+}
+
+std::vector<Expr> InvertedIndex::ResolveLeaves(
+    std::span<const std::string> terms) const {
+  std::vector<Expr> leaves;
+  leaves.reserve(terms.size());
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  for (const std::string& term : terms) {
+    auto it = dictionary_.find(term);
+    if (it == dictionary_.end()) continue;  // unknown term: matches nothing
+    leaves.push_back(Expr::Set(structures_[it->second]));
+  }
+  return leaves;
+}
+
+ElemList InvertedIndex::QueryAny(std::span<const std::string> terms,
+                                 QueryStats* stats) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  if (stats != nullptr) *stats = QueryStats{};
+  std::vector<Expr> leaves = ResolveLeaves(terms);
+  if (leaves.empty()) return {};
+  fsi::Query query = engine_.Query(Expr::Or(std::move(leaves)));
+  ElemList out = query.Materialize();
+  if (stats != nullptr) *stats = query.stats();
+  return out;
+}
+
+ElemList InvertedIndex::QueryAtLeast(std::span<const std::string> terms,
+                                     std::size_t min_terms,
+                                     QueryStats* stats) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  if (min_terms == 0) {
+    throw std::invalid_argument("InvertedIndex::QueryAtLeast: min_terms == 0");
+  }
+  if (stats != nullptr) *stats = QueryStats{};
+  std::vector<Expr> leaves = ResolveLeaves(terms);
+  // Unknown terms contribute no matches, so a document can reach
+  // `min_terms` only among the known leaves.
+  if (leaves.size() < min_terms) return {};
+  fsi::Query query = engine_.Query(Expr::AtLeast(min_terms, std::move(leaves)));
+  ElemList out = query.Materialize();
+  if (stats != nullptr) *stats = query.stats();
+  return out;
+}
+
+ElemList InvertedIndex::QueryExcluding(std::span<const std::string> include,
+                                       std::span<const std::string> exclude,
+                                       QueryStats* stats) const {
+  if (!finalized_) throw std::logic_error("InvertedIndex: not finalized");
+  if (stats != nullptr) *stats = QueryStats{};
+  if (include.empty()) return {};
+  std::vector<const PreparedSet*> sets;
+  if (!Resolve(include, &sets)) return {};  // unknown include term
+  std::vector<Expr> conj;
+  conj.reserve(sets.size());
+  for (const PreparedSet* set : sets) conj.push_back(Expr::Set(*set));
+  Expr expr = Expr::And(std::move(conj));
+  std::vector<Expr> excluded = ResolveLeaves(exclude);
+  if (!excluded.empty()) {
+    expr = Expr::Diff(std::move(expr), Expr::Or(std::move(excluded)));
+  }
+  fsi::Query query = engine_.Query(expr);
+  ElemList out = query.Materialize();
+  if (stats != nullptr) *stats = query.stats();
+  return out;
 }
 
 std::vector<std::size_t> InvertedIndex::ResolveBatch(

@@ -103,6 +103,32 @@ class InvertedIndex {
   /// materializing them (the "result size estimation" workload).
   std::size_t CountMatching(std::span<const std::string> terms) const;
 
+  // Boolean queries beyond conjunction, evaluated through the expression
+  // algebra (api/expr.h): the engine's optimizer rewrites and orders the
+  // tree, and results memoize in the engine's ExprCache.
+
+  /// Disjunctive query: documents containing *any* of the terms, in
+  /// document-id order.  Unknown terms are dropped (they match nothing);
+  /// no known terms yields an empty result.
+  ElemList QueryAny(std::span<const std::string> terms,
+                    QueryStats* stats = nullptr) const;
+
+  /// t-of-k query: documents containing at least `min_terms` of the given
+  /// terms (listed terms count with multiplicity, matching
+  /// Expr::AtLeast).  Unknown terms are dropped; fewer known terms than
+  /// `min_terms` yields an empty result.  Throws std::invalid_argument
+  /// when `min_terms` is 0.
+  ElemList QueryAtLeast(std::span<const std::string> terms,
+                        std::size_t min_terms,
+                        QueryStats* stats = nullptr) const;
+
+  /// Difference query: documents containing *all* `include` terms and
+  /// *none* of the `exclude` terms.  An unknown include term yields an
+  /// empty result (as Query does); unknown exclude terms are dropped.
+  ElemList QueryExcluding(std::span<const std::string> include,
+                          std::span<const std::string> exclude,
+                          QueryStats* stats = nullptr) const;
+
   /// A batch of conjunctive term queries (a query log).
   using TermQueries = std::span<const std::vector<std::string>>;
 
@@ -168,6 +194,10 @@ class InvertedIndex {
   /// Resolves terms to prepared-set handles; false when a term is unknown.
   bool Resolve(std::span<const std::string> terms,
                std::vector<const PreparedSet*>* sets) const;
+
+  /// Resolves terms to expression leaves, dropping unknown terms.
+  /// Expr::Set copies the handle, so the leaves outlive the lock.
+  std::vector<Expr> ResolveLeaves(std::span<const std::string> terms) const;
 
   /// Resolves a query log into `resolved` (skipping empty/unknown-term
   /// queries) and returns the origin map: resolved slot -> query index.

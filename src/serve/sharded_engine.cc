@@ -56,6 +56,10 @@ struct ShardedEngine::QueryState {
   /// late task never touches caller-owned ShardedSet objects after a
   /// partial gather returned.  [shard][set].
   std::vector<std::vector<PreparedSet>> inputs;
+  /// Expression queries: the per-shard projected trees (one per shard;
+  /// each Expr holds shared ownership of its leaves).  Non-empty exactly
+  /// when the query is an expression.
+  std::vector<Expr> exprs;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -133,20 +137,173 @@ void ShardedEngine::CheckQuery(std::span<const ShardedSet* const> sets) const {
   }
 }
 
+// --- ShardedExpr -----------------------------------------------------------
+
+ShardedExpr ShardedExpr::Set(const ShardedSet& set) {
+  if (set.empty_handle()) {
+    throw std::invalid_argument("ShardedExpr::Set: empty ShardedSet handle");
+  }
+  Node node;
+  node.kind = ExprKind::kSet;
+  node.leaf = set;
+  return ShardedExpr(std::make_shared<const Node>(std::move(node)));
+}
+
+namespace {
+void CheckShardedChildren(const char* builder,
+                          const std::vector<ShardedExpr>& children) {
+  if (children.empty()) {
+    throw std::invalid_argument(std::string("ShardedExpr::") + builder +
+                                ": at least one child required");
+  }
+  for (const ShardedExpr& c : children) {
+    if (c.empty_handle()) {
+      throw std::invalid_argument(std::string("ShardedExpr::") + builder +
+                                  ": empty handle among children");
+    }
+  }
+}
+}  // namespace
+
+ShardedExpr ShardedExpr::And(std::vector<ShardedExpr> children) {
+  CheckShardedChildren("And", children);
+  Node node;
+  node.kind = ExprKind::kAnd;
+  node.children = std::move(children);
+  return ShardedExpr(std::make_shared<const Node>(std::move(node)));
+}
+
+ShardedExpr ShardedExpr::Or(std::vector<ShardedExpr> children) {
+  CheckShardedChildren("Or", children);
+  Node node;
+  node.kind = ExprKind::kOr;
+  node.children = std::move(children);
+  return ShardedExpr(std::make_shared<const Node>(std::move(node)));
+}
+
+ShardedExpr ShardedExpr::Diff(ShardedExpr include, ShardedExpr exclude) {
+  if (include.empty_handle() || exclude.empty_handle()) {
+    throw std::invalid_argument("ShardedExpr::Diff: empty handle");
+  }
+  Node node;
+  node.kind = ExprKind::kDiff;
+  node.children.push_back(std::move(include));
+  node.children.push_back(std::move(exclude));
+  return ShardedExpr(std::make_shared<const Node>(std::move(node)));
+}
+
+ShardedExpr ShardedExpr::AtLeast(std::size_t threshold,
+                                 std::vector<ShardedExpr> children) {
+  if (threshold == 0) {
+    throw std::invalid_argument("ShardedExpr::AtLeast: threshold must be >= 1");
+  }
+  CheckShardedChildren("AtLeast", children);
+  Node node;
+  node.kind = ExprKind::kAtLeast;
+  node.threshold = threshold;
+  node.children = std::move(children);
+  return ShardedExpr(std::make_shared<const Node>(std::move(node)));
+}
+
+ShardedExpr ShardedExpr::None() {
+  return ShardedExpr(std::make_shared<const Node>());
+}
+
+std::size_t ShardedExpr::num_leaves() const {
+  if (node_ == nullptr) return 0;
+  if (node_->kind == ExprKind::kSet) return 1;
+  std::size_t total = 0;
+  for (const ShardedExpr& c : node_->children) total += c.num_leaves();
+  return total;
+}
+
+Expr ShardedExpr::Project(std::size_t s) const {
+  switch (node_->kind) {
+    case ExprKind::kSet:
+      return Expr::Set(node_->leaf.shard(s));
+    case ExprKind::kNone:
+      return Expr::None();
+    case ExprKind::kDiff:
+      return Expr::Diff(node_->children[0].Project(s),
+                        node_->children[1].Project(s));
+    default: {
+      std::vector<Expr> children;
+      children.reserve(node_->children.size());
+      for (const ShardedExpr& c : node_->children) {
+        children.push_back(c.Project(s));
+      }
+      if (node_->kind == ExprKind::kAnd) return Expr::And(std::move(children));
+      if (node_->kind == ExprKind::kOr) return Expr::Or(std::move(children));
+      return Expr::AtLeast(node_->threshold, std::move(children));
+    }
+  }
+}
+
+void ShardedEngine::CheckExpr(const ShardedExpr& expr) const {
+  const ShardedExpr::Node* node = expr.node_.get();
+  if (node->kind == ExprKind::kSet) {
+    if (node->leaf.empty_handle() || node->leaf.tag_ != tag_) {
+      throw std::invalid_argument(
+          "ShardedEngine::Serve: ShardedExpr leaf was prepared by a "
+          "different ShardedEngine");
+    }
+    if (node->leaf.num_shards() != map_.num_shards()) {
+      throw std::invalid_argument(
+          "ShardedEngine::Serve: ShardedExpr leaf has a mismatched shard "
+          "count");
+    }
+  }
+  for (const ShardedExpr& c : node->children) CheckExpr(c);
+}
+
 ServeResult ShardedEngine::Serve(std::span<const ShardedSet* const> sets,
                                  ServeOptions options) const {
   Timer wall;
   CheckQuery(sets);
   const std::size_t num_shards = map_.num_shards();
 
-  ServeResult out;
   if (sets.empty()) {
     // An empty query intersects nothing: complete, empty result, no
     // scatter — mirrors Engine::Query({}).
+    ServeResult out;
     out.shards_answered = num_shards;
     out.wall_micros = Micros(wall);
     return out;
   }
+
+  auto state = std::make_shared<QueryState>();
+  state->inputs.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    state->inputs[s].reserve(sets.size());
+    for (const ShardedSet* set : sets) {
+      state->inputs[s].push_back(set->shards_[s]);
+    }
+  }
+  return ServeScattered(std::move(state), options, wall);
+}
+
+ServeResult ShardedEngine::Serve(const ShardedExpr& expr,
+                                 ServeOptions options) const {
+  Timer wall;
+  if (expr.empty_handle()) {
+    throw std::invalid_argument(
+        "ShardedEngine::Serve: empty ShardedExpr handle");
+  }
+  CheckExpr(expr);
+  auto state = std::make_shared<QueryState>();
+  const std::size_t num_shards = map_.num_shards();
+  state->exprs.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    state->exprs.push_back(expr.Project(s));
+  }
+  return ServeScattered(std::move(state), options, wall);
+}
+
+ServeResult ShardedEngine::ServeScattered(std::shared_ptr<QueryState> state,
+                                          ServeOptions options,
+                                          Timer& wall) const {
+  const std::size_t num_shards = map_.num_shards();
+  ServeResult out;
 
   AdmissionTicket ticket(admission_.TryAdmit() ? &admission_ : nullptr);
   if (!ticket.admitted()) {
@@ -174,14 +331,8 @@ ServeResult ShardedEngine::Serve(std::span<const ShardedSet* const> sets,
     deadline = Clock::now() + relative;
   }
 
-  auto state = std::make_shared<QueryState>();
   state->slots.resize(num_shards);
   state->remaining = num_shards;
-  state->inputs.resize(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    state->inputs[s].reserve(sets.size());
-    for (const ShardedSet* set : sets) state->inputs[s].push_back(set->shards_[s]);
-  }
 
   auto run_shard = [this, state, options, deadline](std::size_t s) {
     {
@@ -196,22 +347,12 @@ ServeResult ShardedEngine::Serve(std::span<const ShardedSet* const> sets,
     QueryState::Slot slot;
     try {
       if (!deadline || Clock::now() < *deadline) {
-        const std::vector<PreparedSet>& inputs = state->inputs[s];
-        bool any_empty = false;
-        for (const PreparedSet& input : inputs) {
-          if (input.size() == 0) any_empty = true;
-        }
-        if (any_empty) {
-          // A shard where any operand is empty intersects to empty —
-          // answered, no engine call.
-          slot.stats.num_sets = inputs.size();
-          slot.computed = true;
-        } else {
-          std::vector<const PreparedSet*> ptrs;
-          ptrs.reserve(inputs.size());
-          for (const PreparedSet& input : inputs) ptrs.push_back(&input);
-          fsi::Query query = engines_[s].Query(
-              std::span<const PreparedSet* const>(ptrs.data(), ptrs.size()));
+        if (!state->exprs.empty()) {
+          // Expression query: evaluate the shard's projected tree.  No
+          // empty-operand shortcut here — an empty slice only empties
+          // conjunctive contexts, and the per-engine optimizer already
+          // constant-folds those.
+          fsi::Query query = engines_[s].Query(state->exprs[s]);
           if (!options.ordered || options.count_only) query.Unordered();
           query.Limit(options.limit);
           if (options.count_only) {
@@ -221,6 +362,33 @@ ServeResult ShardedEngine::Serve(std::span<const ShardedSet* const> sets,
             slot.stats = query.ExecuteInto(&slot.elems);
           }
           slot.computed = true;
+        } else {
+          const std::vector<PreparedSet>& inputs = state->inputs[s];
+          bool any_empty = false;
+          for (const PreparedSet& input : inputs) {
+            if (input.size() == 0) any_empty = true;
+          }
+          if (any_empty) {
+            // A shard where any operand is empty intersects to empty —
+            // answered, no engine call.
+            slot.stats.num_sets = inputs.size();
+            slot.computed = true;
+          } else {
+            std::vector<const PreparedSet*> ptrs;
+            ptrs.reserve(inputs.size());
+            for (const PreparedSet& input : inputs) ptrs.push_back(&input);
+            fsi::Query query = engines_[s].Query(
+                std::span<const PreparedSet* const>(ptrs.data(), ptrs.size()));
+            if (!options.ordered || options.count_only) query.Unordered();
+            query.Limit(options.limit);
+            if (options.count_only) {
+              query.CountOnly();
+              slot.stats = query.Execute();
+            } else {
+              slot.stats = query.ExecuteInto(&slot.elems);
+            }
+            slot.computed = true;
+          }
         }
       }
       // else: the deadline fired before this task started — report the

@@ -64,9 +64,11 @@
 
 #include "api/batch_runner.h"
 #include "api/engine.h"
+#include "api/expr.h"
 #include "api/thread_pool.h"
 #include "serve/admission.h"
 #include "serve/shard_map.h"
+#include "util/timer.h"
 
 namespace fsi {
 
@@ -183,6 +185,58 @@ class ShardedSet {
   std::size_t total_ = 0;
 };
 
+/// A boolean expression over sharded sets — the serving-tier mirror of
+/// fsi::Expr (api/expr.h): And/Or/Diff/AtLeast/None with ShardedSet
+/// leaves.  Because every shard owns a contiguous id range and all of
+/// the algebra's operations are element-local, evaluating the projected
+/// per-shard expression on each shard and concatenating in shard order
+/// is bitwise-identical to single-engine evaluation over the unsharded
+/// corpus.  Value-semantic and immutable, like Expr.
+class ShardedExpr {
+ public:
+  ShardedExpr() = default;
+
+  /// Leaf over one sharded set.  Throws on an empty handle.
+  static ShardedExpr Set(const ShardedSet& set);
+  /// Intersection / union of >= 1 subexpressions (throws on zero
+  /// children or empty-handle children, like the Expr builders).
+  static ShardedExpr And(std::vector<ShardedExpr> children);
+  static ShardedExpr Or(std::vector<ShardedExpr> children);
+  /// Difference include \ exclude.
+  static ShardedExpr Diff(ShardedExpr include, ShardedExpr exclude);
+  /// t-of-k threshold (children counted with multiplicity; throws on
+  /// threshold == 0; threshold > k is valid and always empty).
+  static ShardedExpr AtLeast(std::size_t threshold,
+                             std::vector<ShardedExpr> children);
+  /// The constant empty set.
+  static ShardedExpr None();
+
+  bool empty_handle() const { return node_ == nullptr; }
+  ExprKind kind() const { return node_->kind; }
+  std::size_t num_children() const { return node_->children.size(); }
+  const ShardedExpr& child(std::size_t i) const { return node_->children[i]; }
+  std::size_t threshold() const { return node_->threshold; }
+  const ShardedSet& leaf() const { return node_->leaf; }
+  std::size_t num_leaves() const;
+
+ private:
+  friend class ShardedEngine;
+  struct Node {
+    ExprKind kind = ExprKind::kNone;
+    std::vector<ShardedExpr> children;
+    std::size_t threshold = 0;
+    ShardedSet leaf;
+  };
+  explicit ShardedExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  /// The same tree with every leaf replaced by its shard-`s` prepared
+  /// structure — what each shard task evaluates.
+  Expr Project(std::size_t s) const;
+
+  std::shared_ptr<const Node> node_;
+};
+
 struct LoadedShardedSnapshot;
 
 /// S per-shard engines behind one shard map, serving scatter-gather
@@ -214,6 +268,16 @@ class ShardedEngine {
     return Serve(std::span<const ShardedSet* const>(sets.begin(), sets.size()),
                  options);
   }
+
+  /// Serves one boolean-expression query (And/Or/Diff/AtLeast over
+  /// sharded sets): the expression is projected onto each shard,
+  /// evaluated there by the shard's engine (api/expr.h — including its
+  /// optimizer and memoization cache), and gathered by concatenation —
+  /// bitwise-identical to single-engine evaluation for complete (kOk)
+  /// results.  Same admission/deadline semantics as the conjunctive
+  /// Serve; every leaf must be built by this engine.  Expression queries
+  /// have no arity limit.
+  ServeResult Serve(const ShardedExpr& expr, ServeOptions options = {}) const;
 
   /// One query of a served batch: the sharded sets to intersect.
   using ShardedQuery = std::vector<const ShardedSet*>;
@@ -283,6 +347,15 @@ class ShardedEngine {
 
   /// Validates handles/arity and throws std::invalid_argument on misuse.
   void CheckQuery(std::span<const ShardedSet* const> sets) const;
+  /// Leaf validation for expression queries (non-empty handles, built by
+  /// this engine).
+  void CheckExpr(const ShardedExpr& expr) const;
+  /// The shared scatter-gather core: admission, deadline resolution,
+  /// one task per shard, gather until complete or deadline.  `state`
+  /// arrives with its per-shard inputs (flat handles or projected
+  /// expressions) already filled.
+  ServeResult ServeScattered(std::shared_ptr<QueryState> state,
+                             ServeOptions options, Timer& wall) const;
 
   ShardedEngineOptions options_;
   ShardMap map_;
