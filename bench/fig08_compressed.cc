@@ -13,6 +13,13 @@
 //     reports the measured sizes.
 //   * γ-coding results are indistinguishable from δ (the binaries include
 //     both; the paper omitted γ from the plot for this reason).
+//
+// Decode is no longer scalar-only: the block decoders dispatch through
+// simd/decode_kernels.h, so every compressed series runs twice — the
+// default ":simd=auto" (CPU-dispatched unpack/prefix-sum kernels) and
+// ":simd=off" (the scalar reference).  bench_summary.py's
+// compressed_decode section reports the auto/off ratio; CI gates the
+// Lowbits rows at >= 1.5x on AVX2 runners.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +27,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "codec/bit_stream.h"
+#include "simd/decode_kernels.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
 
@@ -43,6 +52,54 @@ const std::vector<ElemList>& Workload(std::size_t n) {
   return it->second;
 }
 
+// Pure decode-kernel throughput: unpack a flat buffer of ~1M packed
+// fields through the dispatched vs scalar kernel tables.  The whole-query
+// rows above decode one ~8-element group at a time, where vector setup
+// cost cancels the win (the kernel falls back to scalar below 16 fields);
+// these rows measure the kernels at the block sizes where SIMD pays.
+// bench_summary.py's compressed_decode section and the CI >= 1.5x AVX2
+// gate read these rows, not the whole-query ones.
+void RegisterDecodeKernelRows() {
+  const std::size_t kFields = FullScale() ? (1 << 22) : (1 << 20);
+  for (int width : {8, 13, 21}) {
+    for (bool dispatched : {true, false}) {
+      std::string label = "fig08/decode_kernel/w:" + std::to_string(width) +
+                          (dispatched ? "/simd:auto" : "/simd:off");
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [width, dispatched, kFields](benchmark::State& st) {
+            static std::map<int, std::vector<std::uint64_t>> packed;
+            auto it = packed.find(width);
+            if (it == packed.end()) {
+              BitWriter w;
+              Xoshiro256 rng(0xDEC0DE + width);
+              for (std::size_t i = 0; i < kFields; ++i) {
+                w.Write(rng.Next() & ((std::uint64_t{1} << width) - 1), width);
+              }
+              w.Write(0, 64);  // straddle slack so every field is in bounds
+              it = packed.emplace(width, w.TakeBuffer()).first;
+            }
+            const std::vector<std::uint64_t>& words = it->second;
+            const simd::DecodeKernels& kernels =
+                dispatched ? simd::DispatchedDecodeKernels()
+                           : simd::ScalarDecodeKernels();
+            std::vector<std::uint32_t> out(kFields);
+            for (auto _ : st) {
+              kernels.unpack_bits(words.data(), words.size(), 0, width, 0,
+                                  out.data(), kFields);
+              benchmark::DoNotOptimize(out.data());
+              benchmark::ClobberMemory();
+            }
+            st.counters["elems_per_s"] = benchmark::Counter(
+                static_cast<double>(st.iterations()) *
+                    static_cast<double>(kFields),
+                benchmark::Counter::kIsRate);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 void RegisterAll() {
   std::vector<std::size_t> sizes;
   if (FullScale()) {
@@ -50,10 +107,20 @@ void RegisterAll() {
   } else {
     sizes = {1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18};
   }
+  // Every compressed series in both decode tiers; Merge is the
+  // uncompressed reference.
   const std::vector<std::string> algorithms = {
-      "Merge_Delta",          "Merge_Gamma",       "Lookup_Delta",
-      "Lookup_Gamma",         "RanGroupScan_Delta", "RanGroupScan_Gamma",
-      "RanGroupScan_Lowbits", "Merge"};
+      "Merge_Delta",
+      "Merge_Gamma",
+      "Lookup_Delta",
+      "Lookup_Gamma",
+      "RanGroupScan_Delta",
+      "RanGroupScan_Delta:simd=off",
+      "RanGroupScan_Gamma",
+      "RanGroupScan_Gamma:simd=off",
+      "RanGroupScan_Lowbits",
+      "RanGroupScan_Lowbits:simd=off",
+      "Merge"};
   for (const auto& alg : algorithms) {
     for (std::size_t n : sizes) {
       std::string label = "fig08/" + alg + "/n:" + std::to_string(n);
@@ -74,6 +141,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
+  RegisterDecodeKernelRows();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -80,5 +80,51 @@ int main() {
                 (words / baseline - 1.0) * 100.0,
                 "one resolution (Thm 3.7 mode); paper: +87%");
   }
+
+  // The space-budget dial (EngineOptions::space_budget_bytes): a Planner
+  // corpus of mixed-length sets prepared under shrinking budgets.  The
+  // footprint column is Engine::SpaceUsedBytes(); the compressed column
+  // counts sets the dial flipped to the block-compressed representation.
+  {
+    Xoshiro256 dial_rng(0xD1A1);
+    std::vector<ElemList> corpus;
+    const std::size_t base_n = FullScale() ? 200000 : 20000;
+    for (std::size_t i = 1; i <= 8; ++i) {
+      corpus.push_back(SampleSortedSet(
+          base_n * i, 20 * static_cast<std::uint64_t>(base_n) * i, dial_rng));
+    }
+    std::size_t full_bytes = 0;
+    {
+      Engine unlimited("Planner:calibration=off");
+      for (const ElemList& l : corpus) {
+        full_bytes += unlimited.Prepare(l).SizeInWords() * sizeof(Word);
+      }
+    }
+    std::printf("\ntab_space: the space-budget dial, %zu sets, "
+                "uncompressed footprint %.1f MiB\n",
+                corpus.size(), full_bytes / (1024.0 * 1024.0));
+    std::printf("%-24s %14s %12s %10s\n", "budget", "used_bytes",
+                "used_MiB", "compressed");
+    const std::vector<std::pair<std::string, std::size_t>> budgets = {
+        {"unlimited(0)", 0},
+        {"full", full_bytes},
+        {"1/2", full_bytes / 2},
+        {"1/4", full_bytes / 4},
+        {"1B", 1},
+    };
+    for (const auto& [label, budget] : budgets) {
+      Engine engine("Planner:calibration=off",
+                    EngineOptions{.space_budget_bytes = budget,
+                                  .min_compress_size = 0});
+      std::vector<PreparedSet> prepared =
+          engine.PrepareBatch(std::span<const ElemList>(corpus));
+      std::size_t compressed = 0;
+      for (const PreparedSet& s : prepared) compressed += s.compressed();
+      std::printf("%-24s %14zu %12.1f %7zu/%zu\n", label.c_str(),
+                  engine.SpaceUsedBytes(),
+                  engine.SpaceUsedBytes() / (1024.0 * 1024.0), compressed,
+                  prepared.size());
+    }
+  }
   return 0;
 }

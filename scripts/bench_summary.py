@@ -23,7 +23,10 @@ shard count over the single-shard baseline — the scatter-gather serving
 gate, docs/SERVING.md), a ``query_algebra`` section condensing the
 fig_algebra export (expression-evaluation time per OR-width × depth ×
 cache-hit-rate shape and the memoized-over-cold speedup — the
-expression-cache gate, docs/ALGEBRA.md), and —
+expression-cache gate, docs/ALGEBRA.md), a ``compressed_decode`` section
+condensing the fig08 export (the off/auto time ratio of the
+``decode_kernel`` row pairs per field width plus the whole-query
+simd=off/auto ratios — the SIMD-decode gate, docs/COMPRESSION.md), and —
 when the directory has a ``scalar/`` subdirectory holding a second run
 made with FSI_FORCE_SCALAR=1 — a ``simd_speedup`` section with the
 per-benchmark scalar/simd time ratios, the number the SIMD kernel layer
@@ -336,6 +339,59 @@ def query_algebra(benchmarks):
     return section
 
 
+def compressed_decode(benchmarks):
+    """The fig08 SIMD-decode comparison, kernel-level and whole-query.
+
+    ``kernel_speedup`` is the off/auto time ratio of the
+    ``fig08/decode_kernel/w:W/simd:{auto,off}`` row pairs — the dispatched
+    bit-unpacking kernels against the scalar reference over a flat ~1M-field
+    buffer, per field width.  ``min_kernel_speedup`` is what CI gates at
+    >= 1.5x on AVX2 runners (docs/COMPRESSION.md).  ``query_speedup`` is
+    the same ratio for the whole-query ``fig08/<alg>/n:N`` vs
+    ``fig08/<alg>:simd=off/n:N`` pairs; those decode one ~8-element group
+    at a time, where the kernel intentionally stays scalar, so values
+    near 1.0 are expected — the column exists to catch the dispatched
+    path *losing* end-to-end.
+    """
+    kernel_pattern = re.compile(r"^fig08/decode_kernel/w:(\d+)/simd:(auto|off)")
+    query_pattern = re.compile(r"^fig08/([A-Za-z_]+?)(:simd=off)?/n:(\d+)")
+    kernel = {}  # width -> {mode: real_time}
+    queries = {}  # (alg, n) -> {mode: real_time}
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        time = bench.get("real_time")
+        if not time:
+            continue
+        match = kernel_pattern.match(name)
+        if match:
+            kernel.setdefault(match.group(1), {})[match.group(2)] = time
+            continue
+        match = query_pattern.match(name)
+        if match and match.group(1) != "decode_kernel":
+            alg, off, n = match.group(1), match.group(2), match.group(3)
+            queries.setdefault((alg, n), {})["off" if off else "auto"] = time
+    if not kernel and not queries:
+        return None
+    section = {}
+    if kernel:
+        section["kernel_speedup"] = {
+            "w:%s" % w: round(t["off"] / t["auto"], 2)
+            for w, t in sorted(kernel.items(), key=lambda kv: int(kv[0]))
+            if "off" in t and "auto" in t
+        }
+        if section["kernel_speedup"]:
+            section["min_kernel_speedup"] = min(
+                section["kernel_speedup"].values())
+    query_speedup = {
+        "%s/n:%s" % (alg, n): round(t["off"] / t["auto"], 2)
+        for (alg, n), t in sorted(queries.items())
+        if "off" in t and "auto" in t
+    }
+    if query_speedup:
+        section["query_speedup"] = query_speedup
+    return section
+
+
 def fig13_scaling(benchmarks):
     """Per-algorithm queries/s by thread count and speedup vs 1 thread."""
     qps = {}  # algorithm -> {threads: items_per_second}
@@ -407,6 +463,10 @@ def main():
     algebra = query_algebra(all_benchmarks)
     if algebra:
         summary["query_algebra"] = algebra
+
+    decode = compressed_decode(all_benchmarks)
+    if decode:
+        summary["compressed_decode"] = decode
 
     planner = load_planner_text(directory)
     if planner:

@@ -20,6 +20,9 @@ namespace {
 /// composite and the plain-array baselines); nullopt otherwise.
 std::optional<std::span<const Elem>> TryGetElems(const PreprocessedSet* set) {
   if (const auto* planned = dynamic_cast<const PlannedSet*>(set)) {
+    // Compressed sets expose no raw array; callers fall back to the
+    // algorithm-level intersect, which decodes on demand.
+    if (!planned->has_plain()) return std::nullopt;
     return planned->elems();
   }
   if (const auto* plain = dynamic_cast<const PlainSet*>(set)) {
@@ -74,6 +77,11 @@ std::size_t PreparedSet::SizeInWords() const {
     return snap.structure->SizeInWords() + elem_words;
   }
   return set_ != nullptr ? set_->SizeInWords() : 0;
+}
+
+bool PreparedSet::compressed() const {
+  const auto* planned = dynamic_cast<const PlannedSet*>(set_.get());
+  return planned != nullptr && !planned->has_plain();
 }
 
 void PreparedSet::RequireMutable(const char* operation) const {
@@ -300,6 +308,7 @@ Engine::Engine(std::string_view spec, EngineOptions options)
       spec_(spec),
       seed_(options.seed) {
   ResolveCostInfo();
+  InitSpaceBudget(options);
   if (options.expr_cache_bytes > 0) {
     expr_cache_ = std::make_shared<ExprCache>(options.expr_cache_bytes);
   }
@@ -315,9 +324,24 @@ Engine::Engine(std::unique_ptr<IntersectionAlgorithm> algorithm,
   }
   spec_ = std::string(algorithm_->name());
   ResolveCostInfo();
+  InitSpaceBudget(options);
   if (options.expr_cache_bytes > 0) {
     expr_cache_ = std::make_shared<ExprCache>(options.expr_cache_bytes);
   }
+}
+
+void Engine::InitSpaceBudget(const EngineOptions& options) {
+  space_budget_bytes_ = options.space_budget_bytes;
+  min_compress_size_ = options.min_compress_size;
+  if (space_budget_bytes_ == 0) return;
+  if (planner_view_ == nullptr) {
+    throw std::invalid_argument(
+        "Engine(" + std::string(algorithm_->name()) +
+        "): space_budget_bytes requires the planner engine (spec "
+        "\"Planner\"/default) — only its composite sets support the "
+        "compressed representation");
+  }
+  space_used_ = std::make_shared<std::atomic<std::uint64_t>>(0);
 }
 
 void Engine::ResolveCostInfo() {
@@ -330,7 +354,103 @@ void Engine::ResolveCostInfo() {
 PreparedSet Engine::Prepare(std::span<const Elem> set) const {
   if (validate_) CheckSortedUnique(set, algorithm_->name());
   return PreparedSet(algorithm_, std::shared_ptr<const PreprocessedSet>(
-                                     algorithm_->Preprocess(set)));
+                                     PrepareStructure(set)));
+}
+
+std::unique_ptr<PreprocessedSet> Engine::PrepareStructure(
+    std::span<const Elem> set) const {
+  if (space_budget_bytes_ == 0 || set.size() < min_compress_size_) {
+    std::unique_ptr<PreprocessedSet> s = algorithm_->Preprocess(set);
+    if (space_used_) {
+      space_used_->fetch_add(s->SizeInWords() * 8,
+                             std::memory_order_relaxed);
+    }
+    return s;
+  }
+  // Streaming rule: admit uncompressed while the running total fits the
+  // budget; past it, fall back to the compressed representation (whose
+  // bytes are still counted — the footprint report stays honest, but
+  // there is no cheaper representation to fall further back to).
+  std::unique_ptr<PreprocessedSet> u = algorithm_->Preprocess(set);
+  const std::uint64_t bytes = u->SizeInWords() * 8;
+  const std::uint64_t prev =
+      space_used_->fetch_add(bytes, std::memory_order_relaxed);
+  if (prev + bytes <= space_budget_bytes_) return u;
+  space_used_->fetch_sub(bytes, std::memory_order_relaxed);
+  std::unique_ptr<PreprocessedSet> c = planner_view_->PreprocessCompressed(set);
+  space_used_->fetch_add(c->SizeInWords() * 8, std::memory_order_relaxed);
+  return c;
+}
+
+std::vector<PreparedSet> Engine::PrepareBatch(
+    std::span<const ElemList> lists) const {
+  std::vector<PreparedSet> out;
+  out.reserve(lists.size());
+  if (space_budget_bytes_ == 0) {
+    for (const ElemList& list : lists) out.push_back(Prepare(list));
+    return out;
+  }
+  if (validate_) {
+    for (const ElemList& list : lists) {
+      CheckSortedUnique(list, algorithm_->name());
+    }
+  }
+  // Build everything uncompressed first; only when the batch blows the
+  // budget does any set pay the decode tax.
+  std::vector<std::unique_ptr<PreprocessedSet>> built;
+  built.reserve(lists.size());
+  std::uint64_t total = space_used_->load(std::memory_order_relaxed);
+  for (const ElemList& list : lists) {
+    built.push_back(algorithm_->Preprocess(list));
+    total += built.back()->SizeInWords() * 8;
+  }
+  if (total > space_budget_bytes_) {
+    // Greedy knapsack: flip the sets with the best bytes saved per
+    // predicted extra microsecond of future query time (the compressed
+    // representation reads at decode_ns instead of merge_ns per element)
+    // until the batch fits or every eligible set is compressed.
+    const CostConstants& c = planner_view_->constants();
+    const double extra_ns = std::max(c.decode_ns - c.merge_ns, 1e-3);
+    struct Candidate {
+      std::size_t index;
+      std::unique_ptr<PreprocessedSet> compressed;
+      std::uint64_t saved_bytes;
+      double gain;  // bytes per microsecond
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      if (lists[i].size() < min_compress_size_) continue;
+      Candidate cand;
+      cand.index = i;
+      cand.compressed = planner_view_->PreprocessCompressed(lists[i]);
+      const std::uint64_t bytes_u = built[i]->SizeInWords() * 8;
+      const std::uint64_t bytes_c = cand.compressed->SizeInWords() * 8;
+      if (bytes_c >= bytes_u) continue;  // compression lost; keep fast form
+      cand.saved_bytes = bytes_u - bytes_c;
+      const double extra_micros =
+          extra_ns * static_cast<double>(lists[i].size()) * 1e-3;
+      cand.gain = static_cast<double>(cand.saved_bytes) /
+                  std::max(extra_micros, 1e-9);
+      candidates.push_back(std::move(cand));
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.gain > b.gain;
+                     });
+    for (Candidate& cand : candidates) {
+      if (total <= space_budget_bytes_) break;
+      total -= cand.saved_bytes;
+      built[cand.index] = std::move(cand.compressed);
+    }
+  }
+  std::uint64_t batch_bytes = 0;
+  for (const auto& s : built) batch_bytes += s->SizeInWords() * 8;
+  space_used_->fetch_add(batch_bytes, std::memory_order_relaxed);
+  for (auto& s : built) {
+    out.push_back(PreparedSet(
+        algorithm_, std::shared_ptr<const PreprocessedSet>(std::move(s))));
+  }
+  return out;
 }
 
 PreparedSet Engine::PrepareMutable(std::span<const Elem> set,

@@ -36,6 +36,7 @@
 #ifndef FSI_API_ENGINE_H_
 #define FSI_API_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -164,6 +165,10 @@ class PreparedSet {
   /// consistent snapshot (the raw pointer could be compacted away at any
   /// moment).
   const PreprocessedSet* raw() const { return set_.get(); }
+  /// True when this set holds the block-compressed representation (picked
+  /// by EngineOptions::space_budget_bytes on a planner engine).  Mutable
+  /// handles are never compressed.
+  bool compressed() const;
 
   // Mutation API — mutable handles only; the others throw
   // std::logic_error.  All of these are safe to call concurrently with
@@ -361,6 +366,21 @@ struct EngineOptions {
   /// subexpression results keyed on structural fingerprints, shared by
   /// every query of this engine and its copies.  0 disables memoization.
   std::size_t expr_cache_bytes = 16u << 20;
+  /// The space-budget dial (planner engines only; setting it on an
+  /// explicit-spec engine throws std::invalid_argument).  0 — the default —
+  /// means unlimited: every Prepare builds the fast two-structure
+  /// representation.  A finite budget caps the total footprint of this
+  /// engine's prepared structures (shared across Engine copies): Prepare
+  /// keeps building uncompressed while the running total fits, then
+  /// switches to the ~4x-smaller compressed block representation
+  /// (docs/COMPRESSION.md); PrepareBatch instead flips the sets with the
+  /// best bytes-saved-per-predicted-microsecond greedily until the batch
+  /// fits.  Results are bitwise identical either way.
+  std::size_t space_budget_bytes = 0;
+  /// Hot/small carve-out for the dial: sets smaller than this are always
+  /// kept uncompressed (compression saves little absolute space and the
+  /// decode tax hits every query).  Ignored when space_budget_bytes == 0.
+  std::size_t min_compress_size = 1024;
 };
 
 /// Options for Engine::LoadSnapshot.
@@ -398,6 +418,9 @@ struct SnapshotInfo {
   /// Sets stored as raw elements (no flat structure layout registered for
   /// their representation) and re-preprocessed on load.
   std::size_t sets_rebuilt = 0;
+  /// Sets restored in the block-compressed representation (space-budget
+  /// engines; storage section kSectionCompressed).
+  std::size_t sets_compressed = 0;
   /// Mutable sets, loaded as frozen base + empty delta.
   std::size_t sets_mutable = 0;
   /// calibration_source() of the loaded planner ("" for non-planner
@@ -450,6 +473,23 @@ class Engine {
                              MutableSetOptions options = {}) const {
     return PrepareMutable(std::span<const Elem>(set.begin(), set.size()),
                           options);
+  }
+
+  /// Prepares many sets at once, applying the space-budget dial globally:
+  /// when the whole batch fits the budget uncompressed nothing changes;
+  /// otherwise the sets with the best bytes-saved-per-predicted-
+  /// microsecond are flipped to the compressed representation, greedily,
+  /// until the batch fits (or every eligible set is compressed).  With no
+  /// budget (or on a non-planner engine) this is just a Prepare loop.
+  /// InvertedIndex::Finalize builds its postings through this.
+  std::vector<PreparedSet> PrepareBatch(std::span<const ElemList> lists) const;
+
+  /// The dial's settings and the running footprint it has admitted, in
+  /// bytes (0 budget = unlimited; the running total is shared with Engine
+  /// copies).
+  std::size_t space_budget_bytes() const { return space_budget_bytes_; }
+  std::size_t SpaceUsedBytes() const {
+    return space_used_ ? static_cast<std::size_t>(space_used_->load()) : 0;
   }
 
   /// Builds a query over prepared sets.  Every handle must be non-empty
@@ -529,6 +569,12 @@ class Engine {
   /// Resolves planner_view_ / cost_hook_ once, so building a query never
   /// takes the registry mutex.
   void ResolveCostInfo();
+  /// Validates the space-budget options against the algorithm and sets up
+  /// the shared footprint counter.
+  void InitSpaceBudget(const EngineOptions& options);
+  /// The streaming representation decision behind Prepare().
+  std::unique_ptr<PreprocessedSet> PrepareStructure(
+      std::span<const Elem> set) const;
 
   std::shared_ptr<const IntersectionAlgorithm> algorithm_;
   bool validate_;
@@ -544,6 +590,11 @@ class Engine {
   /// Memoized subexpression results for Query(const Expr&); shared across
   /// Engine copies.  Null when disabled.
   std::shared_ptr<ExprCache> expr_cache_;
+  /// The space-budget dial (EngineOptions); the running footprint counter
+  /// is shared across Engine copies so the budget is engine-wide.
+  std::size_t space_budget_bytes_ = 0;
+  std::size_t min_compress_size_ = 1024;
+  std::shared_ptr<std::atomic<std::uint64_t>> space_used_;
 };
 
 struct LoadedSnapshot {

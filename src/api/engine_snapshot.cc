@@ -26,6 +26,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "api/planner.h"
 #include "api/registry.h"
 #include "baseline/plain_set.h"
+#include "core/compressed_scan.h"
 #include "core/delta_set.h"
 #include "core/ran_group_scan.h"
 #include "storage/layout.h"
@@ -97,6 +99,62 @@ std::span<const std::byte> AsBytes(const std::string& s) {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
 }
 
+/// One compressed set in the kSectionCompressed section.  The matching
+/// SetRecord (same index) is written as kElements with the decoded
+/// elements, so readers without this section still load the set —
+/// uncompressed.  Readers with it restore the compressed image instead
+/// and skip the rebuild.
+struct CompressedSetRecord {
+  std::uint32_t set_index = 0;
+  std::uint32_t codec = 0;  // ScanCodec
+  std::int32_t t = 0;
+  std::uint32_t m = 0;  // image words per group at encode time
+  std::uint64_t n = 0;
+  std::uint64_t max_elem = 0;
+  std::uint64_t bit_count = 0;
+  storage::FlatRef bits;
+  storage::FlatRef skips;
+};
+static_assert(sizeof(CompressedSetRecord) == 72 &&
+              std::is_trivially_copyable_v<CompressedSetRecord>);
+
+/// Rebuilds one compressed set from its snapshot record.  Everything
+/// untrusted funnels through ResolveSpan (bounds/alignment) and
+/// CompressedScanSet::FromParts (full checked stream walk): corruption
+/// throws SnapshotError(kCorrupt), never reads out of bounds.
+std::unique_ptr<const PreprocessedSet> RestoreCompressedSet(
+    const IntersectionAlgorithm& algorithm,
+    std::span<const std::byte> payload, const CompressedSetRecord& rec) {
+  const auto* planner = dynamic_cast<const PlannerAlgorithm*>(&algorithm);
+  if (planner == nullptr) {
+    throw SnapshotError(
+        SnapshotErrorCode::kCorrupt,
+        "snapshot: compressed set record in a non-planner snapshot");
+  }
+  const CompressedScanIntersection& cscan = planner->compressed_algorithm();
+  if (rec.codec > static_cast<std::uint32_t>(ScanCodec::kDelta)) {
+    throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                        "snapshot: compressed set: unknown codec");
+  }
+  if (static_cast<int>(rec.m) != cscan.m()) {
+    throw SnapshotError(
+        SnapshotErrorCode::kCorrupt,
+        "snapshot: compressed set: image count differs from the engine");
+  }
+  const auto bits = storage::ResolveSpan<std::uint64_t>(payload, rec.bits,
+                                                        "compressed bits");
+  const auto skips = storage::ResolveSpan<std::uint64_t>(payload, rec.skips,
+                                                         "compressed skips");
+  std::unique_ptr<CompressedScanSet> set = CompressedScanSet::FromParts(
+      static_cast<std::size_t>(rec.n), rec.t,
+      static_cast<ScanCodec>(rec.codec), static_cast<Elem>(rec.max_elem),
+      std::vector<std::uint64_t>(bits.begin(), bits.end()),
+      static_cast<std::size_t>(rec.bit_count),
+      std::vector<std::uint64_t>(skips.begin(), skips.end()), cscan.m(),
+      cscan.permutation().domain_bits());
+  return std::make_unique<PlannedSet>(std::move(set));
+}
+
 /// The registry spec with calibration=off appended — the load path's way
 /// of constructing a planner without the startup measurement.  Returns
 /// nullopt for specs whose factory rejects the option (non-planner).
@@ -133,6 +191,7 @@ void Engine::WriteSnapshotSections(
 
   storage::PayloadWriter payload;
   std::vector<storage::SetRecord> records;
+  std::vector<CompressedSetRecord> compressed;
   records.reserve(sets.size());
   for (const PreparedSet* s : sets) {
     storage::SetRecord record;
@@ -148,7 +207,34 @@ void Engine::WriteSnapshotSections(
       record.elems = payload.Append(std::span<const Elem>(effective));
     } else if (const auto* planned =
                    dynamic_cast<const PlannedSet*>(s->raw())) {
-      planned->WriteFlat(payload, record);
+      if (planned->has_plain()) {
+        planned->WriteFlat(payload, record);
+      } else {
+        // Compressed representation: the SetRecord itself is kElements
+        // (decoded below) so pre-kSectionCompressed readers still load the
+        // set, just uncompressed; the compressed image rides in the
+        // non-critical compressed section keyed by set index.
+        const PreprocessedSet* raw = s->raw();
+        const PreprocessedSet* pair[2] = {raw, raw};
+        ElemList elems;
+        algorithm_->Intersect(pair, &elems);
+        record.kind = static_cast<std::uint32_t>(storage::SetKind::kElements);
+        record.elems = payload.Append(std::span<const Elem>(elems));
+
+        const CompressedScanSet& cs = *planned->cscan();
+        CompressedSetRecord crec;
+        crec.set_index = static_cast<std::uint32_t>(records.size());
+        crec.codec = static_cast<std::uint32_t>(cs.codec());
+        crec.t = cs.t();
+        crec.m = static_cast<std::uint32_t>(
+            planner_view_->compressed_algorithm().m());
+        crec.n = cs.size();
+        crec.max_elem = cs.max_elem();
+        crec.bit_count = cs.bit_count();
+        crec.bits = payload.Append(std::span<const std::uint64_t>(cs.bits()));
+        crec.skips = payload.Append(std::span<const std::uint64_t>(cs.skips()));
+        compressed.push_back(crec);
+      }
     } else if (const auto* scan = dynamic_cast<const ScanSet*>(s->raw())) {
       scan->WriteFlat(payload, record);
     } else if (const auto* plain = dynamic_cast<const PlainSet*>(s->raw())) {
@@ -185,6 +271,15 @@ void Engine::WriteSnapshotSections(
           reinterpret_cast<const std::byte*>(records.data()),
           records.size() * sizeof(storage::SetRecord)),
       storage::kSectionFlagCritical);
+  if (!compressed.empty()) {
+    // Non-critical: readers predating kSectionCompressed skip it and
+    // rebuild these sets uncompressed from their kElements records.
+    writer.AddSection(
+        storage::kSectionCompressed,
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(compressed.data()),
+            compressed.size() * sizeof(CompressedSetRecord)));
+  }
   writer.AddSection(storage::kSectionPayload, payload.bytes(),
                     storage::kSectionFlagCritical);
 }
@@ -266,6 +361,28 @@ LoadedSnapshot Engine::LoadSnapshotSections(
   const auto payload =
       reader.RequireSection(storage::kSectionPayload, "payload");
 
+  // Compressed-set records, keyed by set index.  Absent section → empty
+  // map → every kElements record rebuilds uncompressed (old snapshots).
+  std::unordered_map<std::uint32_t, CompressedSetRecord> compressed;
+  if (auto section = reader.Section(storage::kSectionCompressed)) {
+    if (section->size() % sizeof(CompressedSetRecord) != 0) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          "snapshot: compressed section size is not a "
+                          "record multiple");
+    }
+    const std::size_t count = section->size() / sizeof(CompressedSetRecord);
+    for (std::size_t i = 0; i < count; ++i) {
+      CompressedSetRecord rec;
+      std::memcpy(&rec, section->data() + i * sizeof(rec), sizeof(rec));
+      if (rec.set_index >= meta.set_count ||
+          !compressed.emplace(rec.set_index, rec).second) {
+        throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                            "snapshot: compressed section: bad or duplicate "
+                            "set index");
+      }
+    }
+  }
+
   LoadedSnapshot out{std::move(engine), {}, {}};
   out.info.version_major = reader.header().version_major;
   out.info.version_minor = reader.header().version_minor;
@@ -307,6 +424,17 @@ LoadedSnapshot Engine::LoadSnapshotSections(
         ++out.info.sets_zero_copy;
         break;
       case storage::SetKind::kElements: {
+        if (const auto it = compressed.find(static_cast<std::uint32_t>(i));
+            it != compressed.end()) {
+          // The set was prepared under a space budget: restore the
+          // compressed image directly instead of rebuilding uncompressed.
+          out.sets.push_back(PreparedSet(
+              out.engine.algorithm_,
+              std::shared_ptr<const PreprocessedSet>(RestoreCompressedSet(
+                  *out.engine.algorithm_, payload, it->second))));
+          ++out.info.sets_compressed;
+          break;
+        }
         const auto elems =
             storage::ResolveSpan<Elem>(payload, record.elems, "elements");
         out.sets.push_back(PreparedSet(

@@ -498,6 +498,9 @@ void UnionPair(std::span<const Elem> a, std::span<const Elem> b,
 std::optional<std::span<const Elem>> StructureElems(
     const PreprocessedSet* set) {
   if (const auto* planned = dynamic_cast<const PlannedSet*>(set)) {
+    // Compressed sets carry no raw array; the caller's generic path
+    // materializes them through the algorithm (which decodes on demand).
+    if (!planned->has_plain()) return std::nullopt;
     return planned->elems();
   }
   if (const auto* plain = dynamic_cast<const PlainSet*>(set)) {
@@ -780,6 +783,7 @@ class Evaluator {
       if (c.kind() != ExprKind::kSet || c.leaf().is_mutable()) return false;
       const PreprocessedSet* raw = Access::set(c.leaf()).get();
       if (const auto* planned = dynamic_cast<const PlannedSet*>(raw)) {
+        if (!planned->has_plain()) return false;  // no ScanSet to count-merge
         scans.push_back(planned->scan());
       } else if (dynamic_cast<const ScanSet*>(raw) != nullptr) {
         scans.push_back(raw);

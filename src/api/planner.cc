@@ -104,6 +104,20 @@ bool Chainable(std::string_view algorithm) {
   return algorithm == kMergeName || algorithm == kSvsName;
 }
 
+/// The planner's compressed representation: Lowbits (the paper's own
+/// codec — O(1) group skips, SIMD fixed-width unpack) with m = 1 image
+/// word, sharing the scan structure's seed so the permutation matches.
+CompressedScanIntersection::Options CompressedOptions(
+    const RanGroupScanIntersection::Options& scan) {
+  CompressedScanIntersection::Options o;
+  o.seed = scan.seed;
+  o.universe_bits = scan.universe_bits;
+  o.m = 1;
+  o.codec = ScanCodec::kLowbits;
+  o.simd = scan.simd;
+  return o;
+}
+
 }  // namespace
 
 std::string PlannerCalibration::ToJson() const {
@@ -114,6 +128,7 @@ std::string PlannerCalibration::ToJson() const {
   AppendJsonField(&out, "hashbin_ns", constants.hashbin_ns, ", ");
   AppendJsonField(&out, "result_ns", constants.result_ns, ", ");
   AppendJsonField(&out, "scan_result_ns", constants.scan_result_ns, ", ");
+  AppendJsonField(&out, "decode_ns", constants.decode_ns, ", ");
   out += "\"source\": \"" + source + "\"}";
   return out;
 }
@@ -126,6 +141,11 @@ PlannerCalibration PlannerCalibration::FromJson(std::string_view json) {
   cal.constants.hashbin_ns = ParseJsonNumber(json, "hashbin_ns");
   cal.constants.result_ns = ParseJsonNumber(json, "result_ns");
   cal.constants.scan_result_ns = ParseJsonNumber(json, "scan_result_ns");
+  // decode_ns joined the format later; files written before the compressed
+  // representation keep the built-in default.
+  if (json.find("\"decode_ns\"") != std::string_view::npos) {
+    cal.constants.decode_ns = ParseJsonNumber(json, "decode_ns");
+  }
   cal.source = "json";
   return cal;
 }
@@ -155,6 +175,14 @@ PlannerCalibration PlannerCalibration::Measure(std::uint64_t seed) {
   auto [scan_t, scan_r] =
       TimeIntersect(RanGroupScanIntersection(), a, b, /*reps=*/3);
   cal.constants.scan_ns = Constant(scan_t, scan_r, result_ns, balanced_elems);
+
+  // Same sparse pair through the compressed Lowbits structure: the extra
+  // per-element cost over scan_ns is the block decode (SIMD bit-unpack +
+  // group filter through the bit cursor).
+  auto [dec_t, dec_r] =
+      TimeIntersect(CompressedScanIntersection(), a, b, /*reps=*/3);
+  cal.constants.decode_ns = Constant(
+      dec_t, dec_r, CostConstants{}.scan_result_ns, balanced_elems);
 
   // Dense balanced pair (~12% density): with the element term pinned
   // above, the remainder isolates the partition family's per-result cost —
@@ -255,6 +283,13 @@ std::string QueryPlan::ToString() const {
                 "]  predicted: %.1f us  est result: %.0f\n",
                 predicted_micros, est_result);
   out += buf;
+  if (compressed_inputs > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  representation: %zu of %zu inputs compressed "
+                  "(space budget)\n",
+                  compressed_inputs, order.size());
+    out += buf;
+  }
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const PlanStep& s = steps[i];
     std::snprintf(buf, sizeof(buf),
@@ -279,6 +314,7 @@ PlannerAlgorithm::PlannerAlgorithm(const Options& options)
     : merge_(options.scan.simd),
       svs_(options.scan.simd),
       scan_(options.scan),
+      cscan_(CompressedOptions(options.scan)),
       kernels_(&simd::Select(options.scan.simd)) {
   if (options.constants.has_value()) {
     constants_ = *options.constants;
@@ -304,6 +340,19 @@ std::unique_ptr<PreprocessedSet> PlannerAlgorithm::Preprocess(
                                       scan_.Preprocess(set));
 }
 
+std::unique_ptr<PreprocessedSet> PlannerAlgorithm::PreprocessCompressed(
+    std::span<const Elem> set) const {
+  std::unique_ptr<PreprocessedSet> cs = cscan_.Preprocess(set);
+  return std::make_unique<PlannedSet>(std::unique_ptr<CompressedScanSet>(
+      static_cast<CompressedScanSet*>(cs.release())));
+}
+
+void PlannerAlgorithm::DecodeCompressed(const PlannedSet& set,
+                                        ElemList* out) const {
+  const PreprocessedSet* view = set.cscan();
+  cscan_.Intersect(std::span<const PreprocessedSet* const>(&view, 1), out);
+}
+
 QueryPlan PlannerAlgorithm::Plan(
     std::span<const PreprocessedSet* const> sets) const {
   QueryPlan plan;
@@ -316,24 +365,28 @@ QueryPlan PlannerAlgorithm::Plan(
                      return sets[i]->size() < sets[j]->size();
                    });
   if (k == 0) return plan;
+  for (const PreprocessedSet* s : sets) {
+    if (!As<PlannedSet>(*s).has_plain()) ++plan.compressed_inputs;
+  }
 
   const std::size_t n1 = sets[plan.order[0]]->size();
   if (n1 == 0) return plan;  // an empty input: trivially empty, no steps
   if (k == 1) {
     plan.est_result = static_cast<double>(n1);
-    plan.predicted_micros =
-        constants_.merge_ns * static_cast<double>(n1) * 1e-3;
+    const double per_elem = plan.compressed_inputs > 0
+                                ? constants_.decode_ns
+                                : constants_.merge_ns;
+    plan.predicted_micros = per_elem * static_cast<double>(n1) * 1e-3;
     return plan;
   }
 
   // Universe estimate for the density correction: the intersection of two
   // uniform sets over [0, U) has expected size n_a * n_b / U.
+  // max_elem() serves both representations without decoding.
   double universe = 1.0;
   for (const PreprocessedSet* s : sets) {
-    std::span<const Elem> elems = As<PlannedSet>(*s).elems();
-    if (!elems.empty()) {
-      universe = std::max(universe, static_cast<double>(elems.back()) + 1.0);
-    }
+    universe = std::max(
+        universe, static_cast<double>(As<PlannedSet>(*s).max_elem()) + 1.0);
   }
 
   // Per-step cost of every candidate; the intermediate-size estimates are
@@ -358,6 +411,57 @@ QueryPlan PlannerAlgorithm::Plan(
     est_left = q.est_result;
   }
   plan.est_result = est_left;
+
+  if (plan.compressed_inputs == k) {
+    // Every input is block-compressed: the only executable plan is the
+    // native compressed k-way scan (Algorithm 5 over the bit streams,
+    // galloping through the skip directory).
+    plan.uniform = true;
+    for (std::size_t j = 0; j < steps; ++j) {
+      PlanStep step;
+      step.algorithm = std::string(cscan_.name());
+      step.left_size = features[j].small_size;
+      step.right_size = features[j].large_size;
+      step.left_estimated = left_estimated[j];
+      step.est_result = features[j].est_result;
+      step.predicted_micros =
+          CompressedScanIntersection::StepCost(features[j], constants_) * 1e-3;
+      plan.predicted_micros += step.predicted_micros;
+      plan.steps.push_back(std::move(step));
+    }
+    return plan;
+  }
+  if (plan.compressed_inputs > 0) {
+    // Mixed representations: compressed inputs decode to sorted arrays up
+    // front (priced once, below), then every step runs the merge/gallop
+    // chain over raw spans — the uncompressed structures of the other
+    // inputs cannot host a native k-way call that includes these sets.
+    plan.uniform = false;
+    double decode_elems = 0.0;
+    for (const PreprocessedSet* s : sets) {
+      const PlannedSet& p = As<PlannedSet>(*s);
+      if (!p.has_plain()) decode_elems += static_cast<double>(p.size());
+    }
+    plan.predicted_micros += constants_.decode_ns * decode_elems * 1e-3;
+    for (std::size_t j = 0; j < steps; ++j) {
+      std::size_t best = SIZE_MAX;
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        if (!Chainable(candidates_[c]->name)) continue;
+        if (best == SIZE_MAX || cost[j][c] < cost[j][best]) best = c;
+      }
+      if (best == SIZE_MAX) best = 0;  // registry always has Merge/SvS
+      PlanStep step;
+      step.algorithm = candidates_[best]->name;
+      step.left_size = features[j].small_size;
+      step.right_size = features[j].large_size;
+      step.left_estimated = left_estimated[j];
+      step.est_result = features[j].est_result;
+      step.predicted_micros = cost[j][best] * 1e-3;
+      plan.predicted_micros += step.predicted_micros;
+      plan.steps.push_back(std::move(step));
+    }
+    return plan;
+  }
 
   // Best uniform plan: one candidate for every step, executed as a single
   // native k-way call.
@@ -423,7 +527,64 @@ void PlannerAlgorithm::ExecutePlan(
   const PlannedSet& smallest = As<PlannedSet>(*sets[plan.order[0]]);
   if (smallest.size() == 0) return;
   if (k == 1) {
+    if (!smallest.has_plain()) {
+      DecodeCompressed(smallest, out);
+      return;
+    }
     out->assign(smallest.elems().begin(), smallest.elems().end());
+    return;
+  }
+
+  std::size_t compressed = 0;
+  for (const PreprocessedSet* s : sets) {
+    if (!As<PlannedSet>(*s).has_plain()) ++compressed;
+  }
+  if (compressed == k && plan.uniform && !plan.steps.empty() &&
+      plan.steps[0].algorithm == cscan_.name()) {
+    // All-compressed native path: Algorithm 5 straight over the k bit
+    // streams — no decompression outside surviving windows.
+    std::vector<const PreprocessedSet*> views;
+    views.reserve(k);
+    for (const PreprocessedSet* s : sets) {
+      views.push_back(As<PlannedSet>(*s).cscan());
+    }
+    if (ordered) {
+      cscan_.Intersect(views, out);
+    } else {
+      cscan_.IntersectUnordered(views, out);
+    }
+    return;
+  }
+  if (compressed > 0) {
+    // Mixed representations: decode each compressed input once, then run
+    // the planned merge/gallop chain over raw sorted spans.
+    std::vector<ElemList> scratch;
+    scratch.reserve(compressed);  // no reallocation: spans stay valid
+    std::vector<std::span<const Elem>> view(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const PlannedSet& p = As<PlannedSet>(*sets[plan.order[j]]);
+      if (p.has_plain()) {
+        view[j] = p.elems();
+      } else {
+        scratch.emplace_back();
+        DecodeCompressed(p, &scratch.back());
+        view[j] = scratch.back();
+      }
+    }
+    ElemList current(view[0].begin(), view[0].end());
+    ElemList next;
+    for (std::size_t j = 0; j + 1 < k && !current.empty(); ++j) {
+      next.clear();
+      if (j < plan.steps.size() && plan.steps[j].algorithm == kSvsName) {
+        GallopEliminate(*kernels_, current, view[j + 1], &next);
+      } else {
+        kernels_->intersect_pair(current.data(), current.size(),
+                                 view[j + 1].data(), view[j + 1].size(),
+                                 &next);
+      }
+      current.swap(next);
+    }
+    out->swap(current);
     return;
   }
 
@@ -576,6 +737,11 @@ QueryPlan PlanExplicit(const IntersectionAlgorithm& algorithm,
     if (const auto* plain = dynamic_cast<const PlainSet*>(s)) {
       elems = plain->elems();
     } else if (const auto* planned = dynamic_cast<const PlannedSet*>(s)) {
+      if (!planned->has_plain()) {
+        universe = std::max(universe,
+                            static_cast<double>(planned->max_elem()) + 1.0);
+        continue;
+      }
       elems = planned->elems();
     } else {
       universe = 0.0;

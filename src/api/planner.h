@@ -60,6 +60,7 @@
 #include "baseline/plain_set.h"
 #include "baseline/svs.h"
 #include "core/algorithm.h"
+#include "core/compressed_scan.h"
 #include "core/cost.h"
 #include "core/ran_group_scan.h"
 
@@ -127,6 +128,10 @@ struct QueryPlan {
   /// True when the plan came from the planner; false for the single-step
   /// pseudo-plan synthesized for an explicit-spec engine.
   bool planned = false;
+  /// How many of the query's inputs hold the block-compressed
+  /// representation (EngineOptions::space_budget_bytes) — the Explain()
+  /// evidence for the space-budget dial.  0 for all-uncompressed queries.
+  std::size_t compressed_inputs = 0;
   /// Expression queries only (Engine::Query(const Expr&)): the rendered
   /// expression tree with per-node cardinality estimates and algorithm
   /// annotations (api/expr.h).  Empty for flat conjunctive plans.
@@ -136,25 +141,53 @@ struct QueryPlan {
   std::string ToString() const;
 };
 
-/// The composite preprocessed form of one set under the planner: the
-/// PlainSet sorted array plus the RanGroupScan block structure.
+/// The composite preprocessed form of one set under the planner.  Two
+/// representations exist behind this one type:
+///  - uncompressed (the default): the PlainSet sorted array plus the
+///    RanGroupScan block structure (`has_plain()` is true);
+///  - compressed (picked by Engine's space-budget dial): a single
+///    CompressedScanSet block stream — no sorted array, ~4x smaller.
+/// Callers that need raw elements must check `has_plain()` first; the
+/// planner decodes compressed inputs on demand.
 class PlannedSet : public PreprocessedSet {
  public:
   PlannedSet(std::unique_ptr<PreprocessedSet> plain,
              std::unique_ptr<PreprocessedSet> scan)
       : plain_(std::move(plain)), scan_(std::move(scan)) {}
 
-  std::size_t size() const override { return plain_->size(); }
-  std::size_t SizeInWords() const override {
-    return plain_->SizeInWords() + scan_->SizeInWords();
+  /// The compressed representation (space-budget dial).
+  explicit PlannedSet(std::unique_ptr<CompressedScanSet> cscan)
+      : cscan_(std::move(cscan)) {}
+
+  std::size_t size() const override {
+    return plain_ ? plain_->size() : cscan_->size();
   }
-  std::uint64_t NumGroups() const override { return scan_->NumGroups(); }
+  std::size_t SizeInWords() const override {
+    return plain_ ? plain_->SizeInWords() + scan_->SizeInWords()
+                  : cscan_->SizeInWords();
+  }
+  std::uint64_t NumGroups() const override {
+    return plain_ ? scan_->NumGroups() : cscan_->NumGroups();
+  }
+
+  /// True for the uncompressed two-structure representation; false when
+  /// this set holds only the compressed block stream.
+  bool has_plain() const { return plain_ != nullptr; }
 
   const PreprocessedSet* plain() const { return plain_.get(); }
   const PreprocessedSet* scan() const { return scan_.get(); }
-  /// The sorted raw elements (the PlainSet view).
+  const CompressedScanSet* cscan() const { return cscan_.get(); }
+  /// The sorted raw elements (the PlainSet view).  Only valid when
+  /// has_plain(); compressed sets must be decoded instead.
   std::span<const Elem> elems() const {
     return static_cast<const PlainSet*>(plain_.get())->elems();
+  }
+  /// The largest element, available for both representations (drives the
+  /// planner's universe estimate without decoding).
+  Elem max_elem() const {
+    if (!plain_) return cscan_->max_elem();
+    std::span<const Elem> e = elems();
+    return e.empty() ? 0 : e.back();
   }
 
   /// Appends both component structures to `payload` (kind kPlanned: the
@@ -177,6 +210,8 @@ class PlannedSet : public PreprocessedSet {
  private:
   std::unique_ptr<PreprocessedSet> plain_;
   std::unique_ptr<PreprocessedSet> scan_;
+  /// Compressed representation; mutually exclusive with plain_/scan_.
+  std::unique_ptr<CompressedScanSet> cscan_;
 };
 
 /// The planner, packaged as a registry algorithm ("Planner", alias
@@ -206,6 +241,13 @@ class PlannerAlgorithm : public IntersectionAlgorithm {
   std::unique_ptr<PreprocessedSet> Preprocess(
       std::span<const Elem> set) const override;
 
+  /// Builds the compressed representation of one set (the space-budget
+  /// dial's long-tail choice): a PlannedSet holding only a Lowbits
+  /// CompressedScanSet — ~4x smaller than Preprocess's two structures,
+  /// decoded block-by-block at query time through the SIMD kernels.
+  std::unique_ptr<PreprocessedSet> PreprocessCompressed(
+      std::span<const Elem> set) const;
+
   void Intersect(std::span<const PreprocessedSet* const> sets,
                  ElemList* out) const override;
 
@@ -229,6 +271,11 @@ class PlannerAlgorithm : public IntersectionAlgorithm {
   /// PlannedSet's scan structure shares — the t-of-k threshold fast path
   /// (api/expr.h, core/threshold.h) count-merges through it.
   const RanGroupScanIntersection& scan_algorithm() const { return scan_; }
+  /// The internal compressed-scan instance behind PreprocessCompressed
+  /// (same seed-derived permutation as scan_algorithm(), m = 1, Lowbits).
+  const CompressedScanIntersection& compressed_algorithm() const {
+    return cscan_;
+  }
   /// Where the constants came from ("default", "measured", "json",
   /// "explicit" or "snapshot").
   std::string_view calibration_source() const { return calibration_source_; }
@@ -244,11 +291,16 @@ class PlannerAlgorithm : public IntersectionAlgorithm {
   }
 
  private:
+  /// Decodes a compressed PlannedSet to its sorted raw elements (the
+  /// mixed-plan and k==1 paths).
+  void DecodeCompressed(const PlannedSet& set, ElemList* out) const;
+
   CostConstants constants_;
   std::string calibration_source_;
   MergeIntersection merge_;
   SvsIntersection svs_;
   RanGroupScanIntersection scan_;
+  CompressedScanIntersection cscan_;
   /// Kernel table for the mixed-chain merge/gallop steps.
   const simd::Kernels* kernels_;
   /// Registry descriptors of the executable portfolio (cost hook present),

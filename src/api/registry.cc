@@ -305,24 +305,28 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     // --- The Section 4.1 cast (compressed structures). --------------------
     r->Register({.name = "Merge_Gamma",
                  .compressed = true,
+                 .cost = &CompressedMergeIntersection::StepCost,
                  .make = [](AlgorithmOptions&) {
                    return std::make_unique<CompressedMergeIntersection>(
                        EliasCodec::kGamma);
                  }});
     r->Register({.name = "Merge_Delta",
                  .compressed = true,
+                 .cost = &CompressedMergeIntersection::StepCost,
                  .make = [](AlgorithmOptions&) {
                    return std::make_unique<CompressedMergeIntersection>(
                        EliasCodec::kDelta);
                  }});
     r->Register({.name = "Lookup_Gamma",
                  .compressed = true,
+                 .cost = &CompressedLookupIntersection::StepCost,
                  .make = [](AlgorithmOptions&) {
                    return std::make_unique<CompressedLookupIntersection>(
                        EliasCodec::kGamma);
                  }});
     r->Register({.name = "Lookup_Delta",
                  .compressed = true,
+                 .cost = &CompressedLookupIntersection::StepCost,
                  .make = [](AlgorithmOptions&) {
                    return std::make_unique<CompressedLookupIntersection>(
                        EliasCodec::kDelta);
@@ -332,23 +336,27 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
       opts.seed = o.seed();
       opts.codec = codec;
       opts.m = o.TakeInt("m", opts.m);
+      opts.simd = TakeSimd(o);
       return std::make_unique<CompressedScanIntersection>(opts);
     };
     r->Register({.name = "RanGroupScan_Lowbits",
                  .compressed = true,
-                 .options_help = "m=<images>",
+                 .options_help = "m=<images>,simd=auto|off",
+                 .cost = &CompressedScanIntersection::StepCost,
                  .make = [make_compressed_scan](AlgorithmOptions& o) {
                    return make_compressed_scan(o, ScanCodec::kLowbits);
                  }});
     r->Register({.name = "RanGroupScan_Gamma",
                  .compressed = true,
-                 .options_help = "m=<images>",
+                 .options_help = "m=<images>,simd=auto|off",
+                 .cost = &CompressedScanIntersection::StepCost,
                  .make = [make_compressed_scan](AlgorithmOptions& o) {
                    return make_compressed_scan(o, ScanCodec::kGamma);
                  }});
     r->Register({.name = "RanGroupScan_Delta",
                  .compressed = true,
-                 .options_help = "m=<images>",
+                 .options_help = "m=<images>,simd=auto|off",
+                 .cost = &CompressedScanIntersection::StepCost,
                  .make = [make_compressed_scan](AlgorithmOptions& o) {
                    return make_compressed_scan(o, ScanCodec::kDelta);
                  }});

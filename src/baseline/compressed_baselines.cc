@@ -1,6 +1,7 @@
 #include "baseline/compressed_baselines.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "codec/elias.h"
@@ -54,6 +55,20 @@ ElemList CompressedPlainSet::Decode() const {
     out.push_back(static_cast<Elem>(prev));
   }
   return out;
+}
+
+double CompressedMergeIntersection::StepCost(const StepCostQuery& q,
+                                             const CostConstants& c) {
+  return c.decode_ns * static_cast<double>(q.small_size + q.large_size) +
+         c.result_ns * q.est_result;
+}
+
+double CompressedLookupIntersection::StepCost(const StepCostQuery& q,
+                                              const CostConstants& c) {
+  const double n1 = static_cast<double>(q.small_size);
+  const double n2 = static_cast<double>(q.large_size);
+  const double ratio = n1 > 0 ? n2 / n1 : n2;
+  return c.decode_ns * n1 * std::log2(2.0 + ratio) + c.result_ns * q.est_result;
 }
 
 CompressedMergeIntersection::CompressedMergeIntersection(EliasCodec codec)

@@ -18,6 +18,7 @@
 
 #include "codec/bit_stream.h"
 #include "core/algorithm.h"
+#include "core/cost.h"
 
 namespace fsi {
 
@@ -52,6 +53,10 @@ class CompressedPlainSet : public PreprocessedSet {
 class CompressedMergeIntersection : public IntersectionAlgorithm {
  public:
   explicit CompressedMergeIntersection(EliasCodec codec);
+
+  /// Planner cost hook (core/cost.h): both streams are decoded end to end —
+  /// cost = decode_ns * (n1 + n2) + result_ns * r.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return name_; }
 
@@ -104,6 +109,12 @@ class CompressedLookupIntersection : public IntersectionAlgorithm {
  public:
   explicit CompressedLookupIntersection(EliasCodec codec,
                                         int bucket_size = 32);
+
+  /// Planner cost hook: the small set decodes fully, each of its elements
+  /// decodes one bucket of the larger set — the Theorem 3.11 shape with
+  /// the decode constant: cost = decode_ns * n1 * log2(2 + n2/n1)
+  /// + result_ns * r.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return name_; }
 

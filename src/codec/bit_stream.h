@@ -123,6 +123,14 @@ class BitReader {
   }
 
   void Skip(std::size_t bits) { pos_ += bits; }
+
+  /// Repositions the cursor to an absolute bit offset (skip-pointer jumps
+  /// in the block-compressed structures).  Precondition: pos <= bit_count.
+  void SeekTo(std::size_t pos) {
+    assert(pos <= bit_count_);
+    pos_ = pos;
+  }
+
   std::size_t position() const { return pos_; }
   std::size_t bit_count() const { return bit_count_; }
   bool AtEnd() const { return pos_ >= bit_count_; }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "codec/elias.h"
+#include "storage/snapshot.h"
 #include "util/rng.h"
 
 namespace fsi {
@@ -12,7 +13,10 @@ CompressedScanSet::CompressedScanSet(std::span<const Elem> set,
                                      const FeistelPermutation& g,
                                      const WordHashFamily& hashes, int t,
                                      ScanCodec codec)
-    : n_(set.size()), t_(t), codec_(codec) {
+    : n_(set.size()),
+      t_(t),
+      codec_(codec),
+      max_elem_(set.empty() ? 0 : set.back()) {
   DebugCheckSortedUnique(set, "CompressedScan");
   if (!set.empty() && g.domain_bits() < 32 &&
       set.back() >= (Elem{1} << g.domain_bits())) {
@@ -34,6 +38,8 @@ CompressedScanSet::CompressedScanSet(std::span<const Elem> set,
   BitWriter w;
   std::size_t i = 0;
   for (std::uint64_t z = 0; z < (std::uint64_t{1} << t_); ++z) {
+    // Decode-block boundary: record where this stride of groups starts.
+    if (z % kSkipStride == 0) skips_.push_back(w.BitCount());
     std::uint64_t win_hi = (z + 1) << low_bits;
     std::size_t begin = i;
     while (i < n_ && gvals[i] < win_hi) ++i;
@@ -70,11 +76,145 @@ CompressedScanSet::CompressedScanSet(std::span<const Elem> set,
   bits_ = w.TakeBuffer();
 }
 
+namespace {
+
+[[noreturn]] void CorruptStream(const char* what) {
+  throw storage::SnapshotError(storage::SnapshotErrorCode::kCorrupt,
+                               std::string("snapshot: compressed set: ") +
+                                   what);
+}
+
+/// Bounds-checked unary read over untrusted bits: false when the
+/// terminating 1-bit lies at or past bit_count.
+bool ReadUnaryChecked(const std::uint64_t* data, std::size_t bit_count,
+                      std::size_t* pos, std::uint64_t* out) {
+  std::uint64_t n = 0;
+  std::size_t p = *pos;
+  while (true) {
+    if (p >= bit_count) return false;
+    std::size_t word = p >> 6;
+    int offset = static_cast<int>(p & 63);
+    std::uint64_t chunk = data[word] << offset;
+    if (chunk == 0) {
+      n += static_cast<std::uint64_t>(64 - offset);
+      p += static_cast<std::size_t>(64 - offset);
+      continue;
+    }
+    int zeros = std::countl_zero(chunk);
+    if (p + static_cast<std::size_t>(zeros) >= bit_count) return false;
+    *pos = p + static_cast<std::size_t>(zeros) + 1;
+    *out = n + static_cast<std::uint64_t>(zeros);
+    return true;
+  }
+}
+
+bool ReadBitsChecked(BitReader* r, int bits, std::uint64_t* out) {
+  if (r->position() + static_cast<std::size_t>(bits) > r->bit_count()) {
+    return false;
+  }
+  *out = r->Read(bits);
+  return true;
+}
+
+/// Checked γ/δ gap read; rejects length prefixes a 32-bit universe cannot
+/// produce (so no shift is ever UB and no gap overflows the window math).
+bool ReadGapChecked(const std::uint64_t* data, BitReader* r, ScanCodec codec,
+                    std::uint64_t* out) {
+  std::size_t pos = r->position();
+  std::uint64_t n = 0;
+  if (!ReadUnaryChecked(data, r->bit_count(), &pos, &n)) return false;
+  r->SeekTo(pos);
+  if (codec == ScanCodec::kDelta) {
+    // δ: the unary value codes γ(len+1); recover len = 2^n | low - 1.
+    if (n > 6) return false;  // γ(len+1) with len <= 33 needs n <= 6
+    std::uint64_t low = 0;
+    if (n > 0 && !ReadBitsChecked(r, static_cast<int>(n), &low)) return false;
+    n = ((std::uint64_t{1} << n) | low) - 1;
+  }
+  if (n > 33) return false;  // gaps fit in 33 bits for a 32-bit universe
+  std::uint64_t low = 0;
+  if (n > 0 && !ReadBitsChecked(r, static_cast<int>(n), &low)) return false;
+  *out = (std::uint64_t{1} << n) | low;
+  return true;
+}
+
+}  // namespace
+
+void CompressedScanSet::Validate(int m, int domain_bits) const {
+  if (t_ < 0 || t_ > domain_bits || domain_bits > 32) {
+    CorruptStream("resolution outside the permutation domain");
+  }
+  if (m < 1 || m > 64) CorruptStream("implausible image count");
+  if (bit_count_ > bits_.size() * 64) {
+    CorruptStream("bit count exceeds backing words");
+  }
+  const std::uint64_t num_groups = std::uint64_t{1} << t_;
+  const std::size_t expect_skips =
+      static_cast<std::size_t>((num_groups + kSkipStride - 1) / kSkipStride);
+  if (skips_.size() != expect_skips) {
+    CorruptStream("skip directory size mismatch");
+  }
+  const int low_bits = domain_bits - t_;
+  BitReader r(bits_.data(), bit_count_);
+  std::uint64_t total = 0;
+  for (std::uint64_t z = 0; z < num_groups; ++z) {
+    if (z % kSkipStride == 0 && skips_[z / kSkipStride] != r.position()) {
+      CorruptStream("skip pointer does not match block offset");
+    }
+    std::size_t pos = r.position();
+    std::uint64_t len = 0;
+    if (!ReadUnaryChecked(bits_.data(), bit_count_, &pos, &len)) {
+      CorruptStream("truncated group header");
+    }
+    r.SeekTo(pos);
+    if (len == 0) continue;
+    total += len;
+    if (total > n_) CorruptStream("group lengths exceed set size");
+    for (int j = 0; j < m; ++j) {
+      std::uint64_t img = 0;
+      if (!ReadBitsChecked(&r, 64, &img)) CorruptStream("truncated images");
+    }
+    if (codec_ == ScanCodec::kLowbits) {
+      std::uint64_t want = len * static_cast<std::uint64_t>(low_bits);
+      if (r.position() + want > bit_count_) {
+        CorruptStream("truncated element block");
+      }
+      r.Skip(static_cast<std::size_t>(want));
+    } else {
+      for (std::uint64_t e = 0; e < len; ++e) {
+        std::uint64_t gap = 0;
+        if (!ReadGapChecked(bits_.data(), &r, codec_, &gap)) {
+          CorruptStream("malformed gap code");
+        }
+      }
+    }
+  }
+  if (total != n_) CorruptStream("group lengths do not sum to set size");
+  if (r.position() != bit_count_) CorruptStream("trailing bits after stream");
+}
+
+std::unique_ptr<CompressedScanSet> CompressedScanSet::FromParts(
+    std::size_t n, int t, ScanCodec codec, Elem max_elem,
+    std::vector<std::uint64_t> bits, std::size_t bit_count,
+    std::vector<std::uint64_t> skips, int m, int domain_bits) {
+  auto set = std::unique_ptr<CompressedScanSet>(new CompressedScanSet());
+  set->n_ = n;
+  set->t_ = t;
+  set->codec_ = codec;
+  set->max_elem_ = max_elem;
+  set->bits_ = std::move(bits);
+  set->bit_count_ = bit_count;
+  set->skips_ = std::move(skips);
+  set->Validate(m, domain_bits);
+  return set;
+}
+
 CompressedScanIntersection::CompressedScanIntersection(const Options& options)
     : options_(options),
       g_(options.universe_bits, SplitMix64(options.seed).Next()),
       hashes_(options.m, SplitMix64(options.seed ^ 0xc0ac29b7c97c50ddULL)
-                             .Next()) {
+                             .Next()),
+      decode_(&simd::SelectDecode(options.simd)) {
   if (options.m < 1) {
     throw std::invalid_argument("CompressedScan: m must be >= 1");
   }
@@ -91,6 +231,12 @@ CompressedScanIntersection::CompressedScanIntersection(const Options& options)
   }
 }
 
+double CompressedScanIntersection::StepCost(const StepCostQuery& q,
+                                            const CostConstants& c) {
+  return c.decode_ns * static_cast<double>(q.small_size + q.large_size) +
+         c.scan_result_ns * q.est_result;
+}
+
 std::unique_ptr<PreprocessedSet> CompressedScanIntersection::Preprocess(
     std::span<const Elem> set) const {
   std::uint64_t n = set.size();
@@ -105,25 +251,43 @@ std::unique_ptr<PreprocessedSet> CompressedScanIntersection::Preprocess(
 
 namespace {
 
-/// A forward-only cursor over one set's block stream.
+/// A forward-only cursor over one set's block stream.  Jumps over whole
+/// strides of groups through the skip directory; within a stride it walks
+/// group headers sequentially.
 class GroupCursor {
  public:
-  GroupCursor(const CompressedScanSet& set, int m, int domain_bits)
+  GroupCursor(const CompressedScanSet& set, int m, int domain_bits,
+              const simd::DecodeKernels* decode)
       : set_(set),
         reader_(set.bits().data(), set.bit_count()),
+        decode_(decode),
         m_(m),
         low_bits_(domain_bits - set.t()),
-        low_mask_(low_bits_ >= 64 ? ~std::uint64_t{0}
-                                  : ((std::uint64_t{1} << low_bits_) - 1)),
         images_(static_cast<std::size_t>(m), 0) {}
 
   /// Moves the cursor to group z (z must be >= the current group).
   void LoadGroup(std::uint64_t z) {
+    // Skip-pointer jump: when the target lies in a later decode block,
+    // seek straight to that block's first header instead of consuming
+    // every header (and, for γ/δ, every element) in between.
+    const std::uint64_t target_block = z / CompressedScanSet::kSkipStride;
+    const std::uint64_t target_group =
+        target_block * CompressedScanSet::kSkipStride;
+    if (target_group > next_group_) {
+      reader_.SeekTo(set_.skips()[static_cast<std::size_t>(target_block)]);
+      next_group_ = target_group;
+      pending_ = false;
+      decoded_ = false;
+      len_ = 0;
+      scan_idx_ = 0;
+    }
     while (next_group_ <= z) {
       ConsumePendingElements();
       len_ = static_cast<std::uint32_t>(reader_.ReadUnary());
       if (len_ > 0) {
-        for (int j = 0; j < m_; ++j) images_[static_cast<std::size_t>(j)] = reader_.Read(64);
+        for (int j = 0; j < m_; ++j) {
+          images_[static_cast<std::size_t>(j)] = reader_.Read(64);
+        }
         pending_ = true;
       } else {
         std::fill(images_.begin(), images_.end(), 0);
@@ -139,26 +303,31 @@ class GroupCursor {
   std::uint32_t len() const { return len_; }
   Word image(int j) const { return images_[static_cast<std::size_t>(j)]; }
 
-  /// Decodes the current group's g-values (idempotent per group).
+  /// Decodes the current group's g-values (idempotent per group) through
+  /// the selected kernel tier.
   const std::vector<std::uint32_t>& DecodeElements() {
     if (!decoded_) {
-      elems_.clear();
-      elems_.reserve(len_);
-      std::uint64_t base = current_group_ << low_bits_;
+      elems_.resize(len_);
+      const std::uint32_t base =
+          static_cast<std::uint32_t>(current_group_ << low_bits_);
       if (set_.codec() == ScanCodec::kLowbits) {
-        for (std::uint32_t e = 0; e < len_; ++e) {
-          elems_.push_back(
-              static_cast<std::uint32_t>(base | reader_.Read(low_bits_)));
-        }
+        decode_->unpack_bits(set_.bits().data(), set_.bits().size(),
+                             reader_.position(), low_bits_, base,
+                             elems_.data(), len_);
+        reader_.Skip(static_cast<std::size_t>(len_) *
+                     static_cast<std::size_t>(low_bits_));
       } else {
-        std::uint64_t prev = base;
+        // Gap reads are inherently serial; the gap -> absolute conversion
+        // vectorizes.  The first gap was written one high (the element may
+        // equal the window base).
         for (std::uint32_t e = 0; e < len_; ++e) {
           std::uint64_t gap = set_.codec() == ScanCodec::kGamma
                                   ? ReadGamma(reader_)
                                   : ReadDelta(reader_);
-          prev += gap - (e == 0 ? 1 : 0);
-          elems_.push_back(static_cast<std::uint32_t>(prev));
+          elems_[e] = static_cast<std::uint32_t>(gap);
         }
+        if (len_ > 0) elems_[0] -= 1;
+        decode_->prefix_sum(elems_.data(), len_, base);
       }
       pending_ = false;
       decoded_ = true;
@@ -193,9 +362,9 @@ class GroupCursor {
 
   const CompressedScanSet& set_;
   BitReader reader_;
+  const simd::DecodeKernels* decode_;
   int m_;
   int low_bits_;
-  std::uint64_t low_mask_;
   std::uint64_t current_group_ = 0;
   std::uint64_t next_group_ = 0;
   std::uint32_t len_ = 0;
@@ -232,7 +401,7 @@ void CompressedScanIntersection::IntersectUnordered(
   const int m = options_.m;
   if (sorted[0]->size() == 0) return;
   if (k == 1) {
-    GroupCursor cur(*sorted[0], m, b);
+    GroupCursor cur(*sorted[0], m, b, decode_);
     for (std::uint64_t z = 0; z < (std::uint64_t{1} << sorted[0]->t()); ++z) {
       cur.LoadGroup(z);
       if (cur.len() == 0) continue;
@@ -253,7 +422,7 @@ void CompressedScanIntersection::IntersectUnordered(
     std::vector<GroupCursor> cursors;
     cursors.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {
-      cursors.emplace_back(*sorted[i], m, b);
+      cursors.emplace_back(*sorted[i], m, b, decode_);
     }
     std::vector<Word> partial(k * static_cast<std::size_t>(m), 0);
     std::vector<std::uint64_t> prev_z(k, ~std::uint64_t{0});
@@ -299,8 +468,6 @@ void CompressedScanIntersection::IntersectUnordered(
       std::vector<std::size_t> pos(k);
       std::vector<std::size_t> lim(k);
       for (std::size_t i = 0; i < k; ++i) {
-        std::uint64_t zi = zk >> (tk - t[i]);
-        (void)zi;
         const auto& decoded = cursors[i].DecodeElements();
         gv[i] = decoded;
         std::size_t c = cursors[i].scan_idx();

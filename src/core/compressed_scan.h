@@ -12,10 +12,19 @@
 //    gaps.  Variable width: a filtered group must still be decoded (and
 //    discarded) to find the next block, so decompression dominates.
 //
-// Online processing is Algorithm 5 run over k sequential bit streams: group
-// headers are consumed in z order (every group id of every set is visited
-// ascending, so a strictly forward cursor suffices), images feed the
-// memoized filter, and only surviving windows decode their elements.
+// The stream is organized as fixed-size decode blocks: every kSkipStride-th
+// group's bit offset is recorded in a skip directory built at encode time,
+// so intersection can gallop over dead regions (the Algorithm-5 image
+// filter frequently eliminates whole runs of groups) without touching the
+// bits in between — for the Elias codecs this removes the
+// decode-to-discard penalty for skipped strides.  Surviving blocks decode
+// through the vectorized kernels in simd/decode_kernels.h (fixed-width
+// unpack for Lowbits, gap prefix-sum for γ/δ), selected per algorithm
+// instance with the standard "simd=auto|off" option.
+//
+// Online processing is Algorithm 5 run over k bit streams: group headers
+// are consumed in z order (forward cursor + skip-directory jumps), images
+// feed the memoized filter, and only surviving windows decode elements.
 
 #ifndef FSI_CORE_COMPRESSED_SCAN_H_
 #define FSI_CORE_COMPRESSED_SCAN_H_
@@ -29,34 +38,66 @@
 
 #include "codec/bit_stream.h"
 #include "core/algorithm.h"
+#include "core/cost.h"
 #include "hash/feistel.h"
 #include "hash/universal_hash.h"
+#include "simd/decode_kernels.h"
 #include "util/bits.h"
 
 namespace fsi {
 
 enum class ScanCodec { kLowbits, kGamma, kDelta };
 
-/// Preprocessed form: one bit stream of group blocks.
+/// Preprocessed form: one bit stream of group blocks plus a skip directory.
 class CompressedScanSet : public PreprocessedSet {
  public:
+  /// Groups per decode block: one skip-directory entry (the absolute bit
+  /// offset of the block's first group header) every kSkipStride groups.
+  static constexpr std::uint64_t kSkipStride = 8;
+
   CompressedScanSet(std::span<const Elem> set, const FeistelPermutation& g,
                     const WordHashFamily& hashes, int t, ScanCodec codec);
 
   std::size_t size() const override { return n_; }
-  std::size_t SizeInWords() const override { return bits_.size() + 2; }
+  std::size_t SizeInWords() const override {
+    return bits_.size() + skips_.size() + 2;
+  }
 
   int t() const { return t_; }
   ScanCodec codec() const { return codec_; }
   const std::vector<std::uint64_t>& bits() const { return bits_; }
   std::size_t bit_count() const { return bit_count_; }
+  /// Bit offset of group (i * kSkipStride)'s header, i per directory slot.
+  const std::vector<std::uint64_t>& skips() const { return skips_; }
+  /// Largest original element (0 for an empty set) — the planner's
+  /// universe bound without decoding.
+  Elem max_elem() const { return max_elem_; }
+
+  /// Rebuilds a set from snapshot parts (owning copies of the arrays).
+  /// Runs the same full-stream validation as Validate(); throws
+  /// storage::SnapshotError(kCorrupt) on any malformed input.
+  static std::unique_ptr<CompressedScanSet> FromParts(
+      std::size_t n, int t, ScanCodec codec, Elem max_elem,
+      std::vector<std::uint64_t> bits, std::size_t bit_count,
+      std::vector<std::uint64_t> skips, int m, int domain_bits);
+
+  /// Checked walk of the whole stream: every read bounds-checked against
+  /// bit_count, group lengths sum to n, skip directory matches the actual
+  /// block offsets, the stream ends exactly at bit_count.  Throws
+  /// storage::SnapshotError(kCorrupt) on violation.  After this passes,
+  /// the (assert-only) runtime decode paths cannot read out of bounds.
+  void Validate(int m, int domain_bits) const;
 
  private:
-  std::size_t n_;
-  int t_;
-  ScanCodec codec_;
+  CompressedScanSet() = default;
+
+  std::size_t n_ = 0;
+  int t_ = 0;
+  ScanCodec codec_ = ScanCodec::kLowbits;
+  Elem max_elem_ = 0;
   std::vector<std::uint64_t> bits_;
-  std::size_t bit_count_;
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> skips_;
 };
 
 class CompressedScanIntersection : public IntersectionAlgorithm {
@@ -68,10 +109,20 @@ class CompressedScanIntersection : public IntersectionAlgorithm {
     /// interested in small structures here").
     int m = 1;
     ScanCodec codec = ScanCodec::kLowbits;
+    /// Decode kernel tier (registry option key "simd": auto|off).  kAuto
+    /// dispatches on the CPU at startup; kOff keeps the scalar loops.
+    /// Output is bit-identical either way.
+    simd::Mode simd = simd::Mode::kAuto;
   };
 
   CompressedScanIntersection() : CompressedScanIntersection(Options()) {}
   explicit CompressedScanIntersection(const Options& options);
+
+  /// Planner cost hook (core/cost.h): every surviving block must be
+  /// decoded before it can be scanned, so the per-element constant is the
+  /// calibrated decode+scan rate —
+  /// cost = decode_ns * (n1 + n2) + scan_result_ns * r.
+  static double StepCost(const StepCostQuery& q, const CostConstants& c);
 
   std::string_view name() const override { return name_; }
 
@@ -84,11 +135,15 @@ class CompressedScanIntersection : public IntersectionAlgorithm {
   void IntersectUnordered(std::span<const PreprocessedSet* const> sets,
                           ElemList* out) const override;
 
+  const FeistelPermutation& permutation() const { return g_; }
+  int m() const { return options_.m; }
+
  private:
   Options options_;
   std::string name_;
   FeistelPermutation g_;
   WordHashFamily hashes_;
+  const simd::DecodeKernels* decode_;
 };
 
 }  // namespace fsi

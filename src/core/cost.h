@@ -63,6 +63,11 @@ struct CostConstants {
   /// why Merge overtakes the partition algorithms in the dense regime the
   /// paper's Figure 5 studies.
   double scan_result_ns = 60.0;
+  /// Compressed structures (Section 4.1): ns per element through block
+  /// decode + group filter + merge.  Strictly larger than scan_ns — the
+  /// premium the space-budget dial weighs a compressed representation's
+  /// bytes saved against (cost = decode_ns * (n1 + n2) + result term).
+  double decode_ns = 2.0;
 };
 
 /// A registry cost hook: predicted nanoseconds for one pairwise step.

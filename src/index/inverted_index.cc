@@ -35,9 +35,12 @@ void InvertedIndex::AddDocument(Elem doc_id,
 
 void InvertedIndex::Finalize() {
   if (finalized_) throw std::logic_error("InvertedIndex: double Finalize");
-  for (const ElemList& list : postings_) {
-    structures_.push_back(engine_.Prepare(list));
-  }
+  // PrepareBatch sees all postings at once, so under a space budget the
+  // representation choice is the global greedy split, not first-come
+  // (with no budget it degenerates to a Prepare loop).
+  std::vector<PreparedSet> prepared =
+      engine_.PrepareBatch(std::span<const ElemList>(postings_));
+  for (PreparedSet& s : prepared) structures_.push_back(std::move(s));
   finalized_ = true;
 }
 

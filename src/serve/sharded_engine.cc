@@ -83,11 +83,21 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
       tag_(std::make_shared<int>(0)),
       pool_(options_.num_threads),
       admission_(options_.max_in_flight) {
+  // Even split of the space budget; a tiny non-zero total still rounds
+  // up to 1 per shard so it means "compress aggressively", not "off".
+  std::size_t per_shard_budget =
+      options_.space_budget_bytes / map_.num_shards();
+  if (options_.space_budget_bytes != 0 && per_shard_budget == 0) {
+    per_shard_budget = 1;
+  }
   engines_.reserve(map_.num_shards());
   for (std::size_t s = 0; s < map_.num_shards(); ++s) {
     engines_.emplace_back(
         options_.spec,
-        EngineOptions{.seed = options_.seed, .validation = options_.validation});
+        EngineOptions{.seed = options_.seed,
+                      .validation = options_.validation,
+                      .space_budget_bytes = per_shard_budget,
+                      .min_compress_size = options_.min_compress_size});
   }
 }
 

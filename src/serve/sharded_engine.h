@@ -93,6 +93,16 @@ struct ShardedEngineOptions {
   /// Deadline applied when ServeOptions carries none; <= 0 means no
   /// default deadline.
   std::chrono::microseconds default_deadline{0};
+  /// Total space budget across all shards, split evenly into each
+  /// per-shard engine's EngineOptions::space_budget_bytes (planner specs
+  /// only — the per-shard Engine constructor throws otherwise).  0 means
+  /// unlimited.  Results stay bitwise-identical; only the representation
+  /// (and decode cost) of budget-evicted sets changes.
+  std::size_t space_budget_bytes = 0;
+  /// Per-shard EngineOptions::min_compress_size passthrough.  Note the
+  /// dial compares each shard's *slice* size against this, and sharding
+  /// divides set sizes by ~num_shards — tune it for slice sizes.
+  std::size_t min_compress_size = 1024;
 };
 
 /// How one served query ended.

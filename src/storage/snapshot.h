@@ -58,6 +58,11 @@ inline constexpr std::uint32_t kSectionCalibration = 2;  // planner JSON
 inline constexpr std::uint32_t kSectionSetTable = 3;     // SetRecord array
 inline constexpr std::uint32_t kSectionPayload = 4;      // flat arrays
 inline constexpr std::uint32_t kSectionTermTable = 5;    // InvertedIndex terms
+/// Compressed-set records (api/engine_snapshot.cc): sets whose SetRecord
+/// kind is kElements but which were prepared under a space budget carry a
+/// block-compressed image here.  Deliberately NOT critical: old readers
+/// skip it and rebuild uncompressed from the elements — forward compatible.
+inline constexpr std::uint32_t kSectionCompressed = 6;
 
 /// Set on sections a reader must understand to use the file at all.
 inline constexpr std::uint32_t kSectionFlagCritical = 1u << 0;

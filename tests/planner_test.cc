@@ -50,14 +50,18 @@ Engine DeterministicPlanner() { return Engine("Planner:calibration=off"); }
 
 TEST(CostHookTest, PortfolioDescriptorsPublishCosts) {
   auto& registry = AlgorithmRegistry::Global();
-  for (const char* name : {"Merge", "SvS", "RanGroupScan", "HashBin",
-                           "Hybrid"}) {
+  // Portfolio members plus the compressed algorithms: the planner prices
+  // the compressed representation with these hooks.
+  for (const char* name :
+       {"Merge", "SvS", "RanGroupScan", "HashBin", "Hybrid", "Merge_Gamma",
+        "Merge_Delta", "Lookup_Gamma", "Lookup_Delta", "RanGroupScan_Lowbits",
+        "RanGroupScan_Gamma", "RanGroupScan_Delta"}) {
     const AlgorithmDescriptor* d = registry.Find(name);
     ASSERT_NE(d, nullptr) << name;
     EXPECT_NE(d->cost, nullptr) << name;
   }
   for (const char* name : {"Adaptive", "SkipList", "Hash", "Lookup",
-                           "Merge_Gamma", "Planner"}) {
+                           "Planner"}) {
     const AlgorithmDescriptor* d = registry.Find(name);
     ASSERT_NE(d, nullptr) << name;
     EXPECT_EQ(d->cost, nullptr) << name;
@@ -463,6 +467,158 @@ TEST(PlannerIndexTest, DefaultConstructedIndexUsesThePlanner) {
   EXPECT_EQ(batched[0], (ElemList{1, 4}));
   EXPECT_EQ(batched[1], (ElemList{2, 3, 4}));
   EXPECT_TRUE(batched[2].empty());
+}
+
+// ---------------------------------------------------------------------------
+// The space-budget dial: representation choice, Explain evidence,
+// determinism.
+// ---------------------------------------------------------------------------
+
+// A deterministic planner engine with a space budget.
+Engine BudgetPlanner(std::size_t budget, std::size_t min_compress = 0) {
+  return Engine("Planner:calibration=off",
+                EngineOptions{.space_budget_bytes = budget,
+                              .min_compress_size = min_compress});
+}
+
+TEST(SpaceBudgetTest, ZeroBudgetKeepsEverythingUncompressed) {
+  Engine engine = DeterministicPlanner();  // space_budget_bytes == 0
+  Xoshiro256 rng(101);
+  auto lists = GenerateIntersectingSets({2000, 4000, 8000}, 50, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  for (const PreparedSet& s : prepared) EXPECT_FALSE(s.compressed());
+  EXPECT_EQ(engine.SpaceUsedBytes(), 0u);  // no budget, no accounting
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+}
+
+TEST(SpaceBudgetTest, BudgetRequiresThePlannerEngine) {
+  EXPECT_THROW(Engine("Merge", EngineOptions{.space_budget_bytes = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Engine("RanGroupScan", EngineOptions{.space_budget_bytes = 1}),
+               std::invalid_argument);
+  // The planner accepts it.
+  EXPECT_NO_THROW(
+      Engine("Planner:calibration=off", EngineOptions{.space_budget_bytes = 1}));
+}
+
+TEST(SpaceBudgetTest, TinyBudgetCompressesAndStaysCorrect) {
+  Engine engine = BudgetPlanner(1);  // everything over budget immediately
+  Xoshiro256 rng(103);
+  auto lists = GenerateIntersectingSets({1500, 3000, 6000}, 40, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  for (const PreparedSet& s : prepared) EXPECT_TRUE(s.compressed());
+  EXPECT_GT(engine.SpaceUsedBytes(), 0u);
+  // Bitwise-identical results despite the representation change.
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+  EXPECT_EQ(engine.Query(prepared).Count(), GroundTruth(lists).size());
+}
+
+TEST(SpaceBudgetTest, HugeBudgetChangesNothing) {
+  Engine engine = BudgetPlanner(std::size_t{1} << 40);
+  Xoshiro256 rng(105);
+  auto lists = GenerateIntersectingSets({2000, 4000}, 30, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  for (const PreparedSet& s : prepared) EXPECT_FALSE(s.compressed());
+  EXPECT_GT(engine.SpaceUsedBytes(), 0u);  // accounted, under budget
+  EXPECT_LE(engine.SpaceUsedBytes(), std::size_t{1} << 40);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+}
+
+TEST(SpaceBudgetTest, MinCompressSizeKeepsSmallSetsFast) {
+  // Tiny budget but a min_compress_size floor: small sets stay
+  // uncompressed even though the budget is blown.
+  Engine engine = BudgetPlanner(1, /*min_compress=*/1024);
+  Xoshiro256 rng(107);
+  auto lists = GenerateIntersectingSets({100, 5000}, 20, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  EXPECT_FALSE(prepared[0].compressed());  // 100 < 1024
+  EXPECT_TRUE(prepared[1].compressed());   // 5000 >= 1024, over budget
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+}
+
+TEST(SpaceBudgetTest, BatchPicksThePredictedCheapestSplit) {
+  Xoshiro256 rng(109);
+  auto lists =
+      GenerateIntersectingSets({1200, 2400, 4800, 9600}, 60, 1 << 21, rng);
+  // Measure the uncompressed footprint first.
+  Engine unlimited = DeterministicPlanner();
+  std::size_t full_bytes = 0;
+  for (const PreparedSet& s : PrepareAll(unlimited, lists)) {
+    full_bytes += s.SizeInWords() * sizeof(std::uint64_t);
+  }
+  // A mid-range budget: roughly half the uncompressed footprint.
+  Engine engine = BudgetPlanner(full_bytes / 2);
+  std::vector<PreparedSet> prepared =
+      engine.PrepareBatch(std::span<const ElemList>(lists));
+  ASSERT_EQ(prepared.size(), lists.size());
+  std::size_t compressed = 0;
+  for (const PreparedSet& s : prepared) compressed += s.compressed() ? 1 : 0;
+  // The greedy split compresses something but not everything.
+  EXPECT_GT(compressed, 0u);
+  EXPECT_LT(compressed, lists.size());
+  EXPECT_LE(engine.SpaceUsedBytes(), full_bytes / 2);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+}
+
+TEST(SpaceBudgetTest, ExplainShowsTheRepresentation) {
+  Engine engine = BudgetPlanner(1);
+  Xoshiro256 rng(111);
+  auto lists = GenerateIntersectingSets({1000, 2000, 4000}, 25, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  QueryPlan plan = engine.Query(prepared).Explain();
+  EXPECT_TRUE(plan.planned);
+  EXPECT_EQ(plan.compressed_inputs, 3u);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  for (const PlanStep& step : plan.steps) {
+    EXPECT_EQ(step.algorithm, "RanGroupScan_Lowbits");
+  }
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("representation: 3 of 3 inputs compressed"),
+            std::string::npos)
+      << text;
+  // An uncompressed engine's rendering never mentions representation.
+  Engine plain_engine = DeterministicPlanner();
+  auto plain = PrepareAll(plain_engine, lists);
+  EXPECT_EQ(plain_engine.Query(plain).Explain().ToString().find(
+                "representation:"),
+            std::string::npos);
+}
+
+TEST(SpaceBudgetTest, MixedRepresentationQueriesPlanAndExecute) {
+  // One engine, one compressed set (prepared while over budget) and one
+  // uncompressed set (small enough for the min_compress_size carve-out).
+  Engine engine = BudgetPlanner(1, /*min_compress=*/1024);
+  Xoshiro256 rng(113);
+  auto lists = GenerateIntersectingSets({500, 6000}, 35, 1 << 20, rng);
+  auto prepared = PrepareAll(engine, lists);
+  ASSERT_FALSE(prepared[0].compressed());
+  ASSERT_TRUE(prepared[1].compressed());
+  QueryPlan plan = engine.Query(prepared).Explain();
+  EXPECT_EQ(plan.compressed_inputs, 1u);
+  EXPECT_EQ(engine.Query(prepared).Materialize(), GroundTruth(lists));
+}
+
+TEST(SpaceBudgetTest, CalibrationOffWithBudgetIsDeterministic) {
+  Xoshiro256 rng(115);
+  auto lists = GenerateIntersectingSets({1000, 3000, 9000}, 45, 1 << 21, rng);
+  auto explain = [&lists]() {
+    Engine engine = BudgetPlanner(1);
+    auto prepared = PrepareAll(engine, lists);
+    return engine.Query(prepared).Explain().ToString();
+  };
+  const std::string first = explain();
+  EXPECT_EQ(first, explain());  // same spec, same budget, same plan text
+}
+
+TEST(SpaceBudgetTest, SingleCompressedSetDecodesThroughQuery) {
+  Engine engine = BudgetPlanner(1);
+  Xoshiro256 rng(117);
+  auto lists = GenerateIntersectingSets({4000}, 0, 1 << 20, rng);
+  PreparedSet a = engine.Prepare(lists[0]);
+  ASSERT_TRUE(a.compressed());
+  EXPECT_EQ(a.size(), lists[0].size());
+  EXPECT_EQ(engine.Query({&a}).Materialize(), lists[0]);
+  EXPECT_EQ(engine.Query({&a}).Count(), lists[0].size());
 }
 
 }  // namespace

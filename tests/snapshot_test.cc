@@ -359,7 +359,12 @@ TEST(SnapshotZeroCopyTest, SetsOutliveTheLoadedSnapshotStruct) {
 class SnapshotCorruptionTest : public testing::Test {
  protected:
   void SetUp() override {
-    path_ = TempPath("corrupt");
+    // Unique per test: ctest runs tests as separate processes, possibly
+    // in parallel — a shared path would let one test truncate the file
+    // under another's mmap.
+    path_ = TempPath(
+        std::string("corrupt_") +
+        testing::UnitTest::GetInstance()->current_test_info()->name());
     Xoshiro256 rng(7);
     const auto lists =
         GenerateIntersectingSets({400, 700}, 30, 1u << 18, rng);
